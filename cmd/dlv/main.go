@@ -1,0 +1,568 @@
+// Command dlv is the DLV model versioning tool (paper Table II): a git-like
+// command line for managing deep learning model versions, exploring and
+// comparing them, archiving their parameters, running DQL queries, and
+// exchanging repositories with a hosted ModelHub server.
+//
+// Usage:
+//
+//	dlv init
+//	dlv add     FILE...
+//	dlv train   -name NAME [-arch lenet|alexnet-mini|vgg-mini] [-epochs N] [-lr F] [-parent ID]
+//	dlv copy    -from ID -name NAME
+//	dlv list    [-html FILE]
+//	dlv desc    -v ID [-html FILE]
+//	dlv diff    -a ID -b ID [-html FILE]
+//	dlv archive [-algo pas-mt|pas-pt|mst|spt|last|best] [-alpha F] [-purge]
+//	dlv eval    -v ID [-snap LABEL] [-prefix 1..4] [-progressive [-topk K]]
+//	dlv plot    -v ID [-layer NAME] [-prefix 1..4] -o weights.html
+//	dlv query   'select m where ...'
+//	dlv publish -remote URL -name NAME
+//	dlv search  -remote URL -q QUERY
+//	dlv pull    -remote URL -name NAME [-dest DIR]
+//
+// All commands except init/pull operate on the repository in the current
+// directory (or -repo DIR).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"modelhub/internal/core"
+	"modelhub/internal/data"
+	"modelhub/internal/dlv"
+	"modelhub/internal/dnn"
+	"modelhub/internal/floatenc"
+	"modelhub/internal/pas"
+	"modelhub/internal/report"
+	"modelhub/internal/tensor"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	if err := run(cmd, args); err != nil {
+		fmt.Fprintln(os.Stderr, "dlv:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: dlv <command> [flags]
+commands: init add train copy list desc diff archive eval history plot query publish search pull`)
+}
+
+func run(cmd string, args []string) error {
+	switch cmd {
+	case "init":
+		fs := flag.NewFlagSet("init", flag.ExitOnError)
+		repoDir := fs.String("repo", ".", "repository directory")
+		fs.Parse(args)
+		if _, err := core.Init(*repoDir); err != nil {
+			return err
+		}
+		fmt.Println("initialized empty dlv repository in", *repoDir)
+		return nil
+
+	case "add":
+		fs := flag.NewFlagSet("add", flag.ExitOnError)
+		repoDir := fs.String("repo", ".", "repository directory")
+		fs.Parse(args)
+		files := fs.Args()
+		if len(files) == 0 {
+			return fmt.Errorf("add: pass at least one repository-relative file")
+		}
+		mh, err := core.Open(*repoDir)
+		if err != nil {
+			return err
+		}
+		for _, f := range files {
+			if err := mh.Repo.Add(f); err != nil {
+				return err
+			}
+		}
+		staged, err := mh.Repo.Staged()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("staged %d file(s): %v\n", len(staged), staged)
+		return nil
+
+	case "train":
+		fs := flag.NewFlagSet("train", flag.ExitOnError)
+		repoDir := fs.String("repo", ".", "repository directory")
+		name := fs.String("name", "", "model version name (required)")
+		arch := fs.String("arch", "lenet", "zoo architecture")
+		epochs := fs.Int("epochs", 2, "training epochs")
+		lr := fs.Float64("lr", 0.1, "learning rate")
+		momentum := fs.Float64("momentum", 0.9, "SGD momentum")
+		ckpt := fs.Int("checkpoint-every", 10, "iterations between checkpoints (0 = none)")
+		parent := fs.Int64("parent", 0, "parent version id for fine-tuning")
+		seed := fs.Int64("seed", 1, "random seed")
+		msg := fs.String("m", "", "commit message")
+		fs.Parse(args)
+		if *name == "" {
+			return fmt.Errorf("train: -name is required")
+		}
+		mh, err := core.Open(*repoDir)
+		if err != nil {
+			return err
+		}
+		id, err := mh.TrainAndCommit(*name, core.TrainOptions{
+			Arch: *arch, Epochs: *epochs, LR: *lr, Momentum: *momentum,
+			CheckpointEvery: *ckpt, ParentID: *parent, Seed: *seed, Msg: *msg,
+		})
+		if err != nil {
+			return err
+		}
+		v, err := mh.Repo.Version(id)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("committed model version %d (%s), accuracy %.4f\n", id, *name, v.Accuracy)
+		return nil
+
+	case "copy":
+		fs := flag.NewFlagSet("copy", flag.ExitOnError)
+		repoDir := fs.String("repo", ".", "repository directory")
+		from := fs.Int64("from", 0, "source version id (required)")
+		name := fs.String("name", "", "new model name (required)")
+		msg := fs.String("m", "scaffolded", "commit message")
+		fs.Parse(args)
+		if *from == 0 || *name == "" {
+			return fmt.Errorf("copy: -from and -name are required")
+		}
+		mh, err := core.Open(*repoDir)
+		if err != nil {
+			return err
+		}
+		id, err := mh.Repo.Copy(*from, *name, *msg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("scaffolded model version %d (%s) from %d\n", id, *name, *from)
+		return nil
+
+	case "list":
+		fs := flag.NewFlagSet("list", flag.ExitOnError)
+		repoDir := fs.String("repo", ".", "repository directory")
+		htmlOut := fs.String("html", "", "write an HTML report to this file instead of stdout")
+		fs.Parse(args)
+		mh, err := core.Open(*repoDir)
+		if err != nil {
+			return err
+		}
+		versions, err := mh.Repo.List()
+		if err != nil {
+			return err
+		}
+		if *htmlOut != "" {
+			html, err := report.List(versions)
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(*htmlOut, []byte(html), 0o644)
+		}
+		fmt.Printf("%-4s %-24s %-9s %-6s %-8s %s\n", "ID", "NAME", "ACCURACY", "SNAPS", "PARENT", "CREATED")
+		for _, v := range versions {
+			parent := "-"
+			if v.ParentID != 0 {
+				parent = fmt.Sprintf("%d", v.ParentID)
+			}
+			fmt.Printf("%-4d %-24s %-9.4f %-6d %-8s %s\n", v.ID, v.Name, v.Accuracy, len(v.Snapshots), parent, v.Created)
+		}
+		return nil
+
+	case "desc":
+		fs := flag.NewFlagSet("desc", flag.ExitOnError)
+		repoDir := fs.String("repo", ".", "repository directory")
+		id := fs.Int64("v", 0, "version id (required)")
+		htmlOut := fs.String("html", "", "write an HTML report to this file instead of stdout")
+		fs.Parse(args)
+		if *id == 0 {
+			return fmt.Errorf("desc: -v is required")
+		}
+		mh, err := core.Open(*repoDir)
+		if err != nil {
+			return err
+		}
+		log, err := mh.Repo.TrainLog(*id)
+		if err != nil {
+			return err
+		}
+		if *htmlOut != "" {
+			v, err := mh.Repo.Version(*id)
+			if err != nil {
+				return err
+			}
+			html, err := report.Desc(v, log)
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(*htmlOut, []byte(html), 0o644)
+		}
+		desc, err := mh.Repo.Describe(*id)
+		if err != nil {
+			return err
+		}
+		fmt.Print(desc)
+		if len(log) > 0 {
+			fmt.Println("  training log:")
+			for _, e := range log {
+				fmt.Printf("    iter %5d  loss %.4f  acc %.4f  lr %g\n", e.Iter, e.Loss, e.Accuracy, e.LR)
+			}
+		}
+		return nil
+
+	case "diff":
+		fs := flag.NewFlagSet("diff", flag.ExitOnError)
+		repoDir := fs.String("repo", ".", "repository directory")
+		a := fs.Int64("a", 0, "first version id")
+		b := fs.Int64("b", 0, "second version id")
+		htmlOut := fs.String("html", "", "write an HTML report to this file instead of stdout")
+		weights := fs.Bool("weights", false, "also compare the learned parameters layer by layer")
+		fs.Parse(args)
+		if *a == 0 || *b == 0 {
+			return fmt.Errorf("diff: -a and -b are required")
+		}
+		mh, err := core.Open(*repoDir)
+		if err != nil {
+			return err
+		}
+		rep, err := mh.Repo.Diff(*a, *b)
+		if err != nil {
+			return err
+		}
+		if *htmlOut != "" {
+			va, err := mh.Repo.Version(*a)
+			if err != nil {
+				return err
+			}
+			vb, err := mh.Repo.Version(*b)
+			if err != nil {
+				return err
+			}
+			html, err := report.Diff(va, vb, rep)
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(*htmlOut, []byte(html), 0o644)
+		}
+		fmt.Printf("diff of versions %d and %d:\n", rep.A, rep.B)
+		fmt.Printf("  layers only in %d: %v\n", rep.A, rep.OnlyInA)
+		fmt.Printf("  layers only in %d: %v\n", rep.B, rep.OnlyInB)
+		fmt.Printf("  changed layers:    %v\n", rep.ChangedLayers)
+		for k, vals := range rep.HyperChanged {
+			fmt.Printf("  hyper %s: %q -> %q\n", k, vals[0], vals[1])
+		}
+		fmt.Printf("  accuracy delta:    %+.4f\n", rep.AccuracyDelta)
+		if *weights {
+			diffs, err := mh.Repo.DiffWeights(*a, *b, dlv.LatestSnap)
+			if err != nil {
+				return err
+			}
+			fmt.Println("  learned parameters:")
+			fmt.Print(dlv.FormatWeightDiffs(diffs))
+		}
+		return nil
+
+	case "archive":
+		fs := flag.NewFlagSet("archive", flag.ExitOnError)
+		repoDir := fs.String("repo", ".", "repository directory")
+		algo := fs.String("algo", "pas-mt", "plan algorithm: pas-mt pas-pt mst spt last best")
+		alpha := fs.Float64("alpha", 2.0, "recreation budget scalar (x SPT cost)")
+		parallel := fs.Bool("parallel", false, "optimize for the parallel retrieval scheme")
+		purge := fs.Bool("purge", false, "delete raw weights after archiving")
+		ckptScheme := fs.String("checkpoint-scheme", "",
+			"lossy float scheme for checkpoint (non-latest) snapshots: float16 bfloat16 fixed-N quant-N")
+		explain := fs.Bool("explain", false, "print per-snapshot recreation costs vs budgets")
+		planes := fs.Bool("plane-granularity", false, "optimize storage per byte segment instead of per matrix")
+		fs.Parse(args)
+		mh, err := core.Open(*repoDir)
+		if err != nil {
+			return err
+		}
+		scheme := pas.Independent
+		if *parallel {
+			scheme = pas.Parallel
+		}
+		opts := dlv.ArchiveOptions{
+			Algorithm: *algo, Scheme: scheme, Alpha: *alpha, Purge: *purge,
+			PlaneGranularity: *planes,
+		}
+		if *ckptScheme != "" {
+			cs, err := parseFloatScheme(*ckptScheme)
+			if err != nil {
+				return err
+			}
+			opts.CheckpointScheme = &cs
+		}
+		store, err := mh.Repo.Archive(opts)
+		if err != nil {
+			return err
+		}
+		info := store.Info()
+		fmt.Printf("archived with %s: storage %.0f (MST bound %.0f, SPT %.0f), feasible=%v\n",
+			info.Algorithm, info.StorageCost, info.MSTCost, info.SPTCost, info.Feasible)
+		fmt.Printf("on-disk chunk bytes: %d (high plane only: %d)\n",
+			store.TotalChunkBytes(4), store.TotalChunkBytes(1))
+		if *explain {
+			fmt.Printf("%-24s %-9s %14s %14s\n", "SNAPSHOT", "MATRICES", "RECREATION", "BUDGET")
+			for _, sc := range store.SnapshotCosts() {
+				budget := "-"
+				if sc.Budget > 0 {
+					budget = fmt.Sprintf("%.0f", sc.Budget)
+				}
+				fmt.Printf("%-24s %-9d %14.0f %14s\n", sc.ID, sc.Matrices, sc.Recreation, budget)
+			}
+		}
+		return nil
+
+	case "eval":
+		fs := flag.NewFlagSet("eval", flag.ExitOnError)
+		repoDir := fs.String("repo", ".", "repository directory")
+		id := fs.Int64("v", 0, "version id (required)")
+		snap := fs.String("snap", dlv.LatestSnap, "snapshot label")
+		prefix := fs.Int("prefix", 4, "byte planes to read (1..4)")
+		progressive := fs.Bool("progressive", false, "use progressive evaluation")
+		topk := fs.Int("topk", 1, "top-k determination for progressive evaluation")
+		n := fs.Int("n", 100, "test examples")
+		seed := fs.Int64("seed", 99, "test set seed")
+		dataFile := fs.String("data", "", "JSON file of data points (overrides the synthetic test set)")
+		fs.Parse(args)
+		if *id == 0 {
+			return fmt.Errorf("eval: -v is required")
+		}
+		mh, err := core.Open(*repoDir)
+		if err != nil {
+			return err
+		}
+		var test []dnn.Example
+		if *dataFile != "" {
+			test, err = data.LoadExamples(*dataFile)
+			if err != nil {
+				return err
+			}
+		} else {
+			test = core.TestSet(*n, *seed)
+		}
+		if *progressive {
+			res, err := mh.Repo.EvalProgressiveTopK(*id, *snap, test, *topk)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("progressive top-%d accuracy: %.4f\n", *topk, res.Accuracy)
+			for p := 1; p <= 4; p++ {
+				fmt.Printf("  resolved with %d plane(s): %d\n", p, res.PrefixHistogram[p])
+			}
+			return nil
+		}
+		res, err := mh.Repo.Eval(*id, *snap, test, *prefix)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("accuracy at prefix %d: %.4f\n", res.Prefix, res.Accuracy)
+		return nil
+
+	case "history":
+		fs := flag.NewFlagSet("history", flag.ExitOnError)
+		repoDir := fs.String("repo", ".", "repository directory")
+		id := fs.Int64("v", 0, "version id (required)")
+		n := fs.Int("n", 100, "test examples")
+		seed := fs.Int64("seed", 99, "test set seed")
+		fs.Parse(args)
+		if *id == 0 {
+			return fmt.Errorf("history: -v is required")
+		}
+		mh, err := core.Open(*repoDir)
+		if err != nil {
+			return err
+		}
+		hist, err := mh.Repo.EvalHistory(*id, core.TestSet(*n, *seed))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-16s %s\n", "SNAPSHOT", "ACCURACY")
+		for _, h := range hist {
+			fmt.Printf("%-16s %.4f\n", h.Snapshot, h.Accuracy)
+		}
+		return nil
+
+	case "plot":
+		// Matrix plots from high-order bytes only (paper Sec. IV-D: such
+		// exploration queries do not need the low-order planes).
+		fs := flag.NewFlagSet("plot", flag.ExitOnError)
+		repoDir := fs.String("repo", ".", "repository directory")
+		id := fs.Int64("v", 0, "version id (required)")
+		snap := fs.String("snap", dlv.LatestSnap, "snapshot label")
+		layer := fs.String("layer", "", "layer name (default: all parametric layers)")
+		prefix := fs.Int("prefix", 2, "byte planes to read (1..4)")
+		out := fs.String("o", "weights.html", "output HTML file")
+		fs.Parse(args)
+		if *id == 0 {
+			return fmt.Errorf("plot: -v is required")
+		}
+		mh, err := core.Open(*repoDir)
+		if err != nil {
+			return err
+		}
+		weights, err := mh.Repo.Weights(*id, *snap, *prefix)
+		if err != nil {
+			return err
+		}
+		var svgs []string
+		for _, name := range sortedNames(weights) {
+			if *layer != "" && name != *layer {
+				continue
+			}
+			svgs = append(svgs, report.WeightHeatmap(weights[name], name))
+		}
+		if len(svgs) == 0 {
+			return fmt.Errorf("plot: no matching layer %q", *layer)
+		}
+		html, err := report.HeatmapPage(fmt.Sprintf("weights of v%d/%s (prefix %d)", *id, *snap, *prefix), svgs)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, []byte(html), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d heatmap(s) to %s using %d byte plane(s)\n", len(svgs), *out, *prefix)
+		return nil
+
+	case "query":
+		fs := flag.NewFlagSet("query", flag.ExitOnError)
+		repoDir := fs.String("repo", ".", "repository directory")
+		fs.Parse(args)
+		rest := fs.Args()
+		if len(rest) != 1 {
+			return fmt.Errorf("query: pass exactly one DQL statement")
+		}
+		mh, err := core.Open(*repoDir)
+		if err != nil {
+			return err
+		}
+		res, err := mh.Query(rest[0])
+		if err != nil {
+			return err
+		}
+		switch {
+		case res.Versions != nil:
+			for _, v := range res.Versions {
+				fmt.Printf("%d\t%s\taccuracy=%.4f\n", v.ID, v.Name, v.Accuracy)
+			}
+		case res.Defs != nil:
+			for _, def := range res.Defs {
+				blob, err := def.ToJSON()
+				if err != nil {
+					return err
+				}
+				fmt.Println(string(blob))
+			}
+		default:
+			for _, c := range res.Candidates {
+				fmt.Printf("%s\tlr=%g momentum=%g batch=%d\tloss=%.4f acc=%.4f\n",
+					c.Def.Name, c.Config.BaseLR, c.Config.Momentum, c.Config.Batch, c.Loss, c.Acc)
+			}
+		}
+		return nil
+
+	case "publish":
+		fs := flag.NewFlagSet("publish", flag.ExitOnError)
+		repoDir := fs.String("repo", ".", "repository directory")
+		remote := fs.String("remote", "", "hub server URL (required)")
+		name := fs.String("name", "", "published repository name (required)")
+		fs.Parse(args)
+		if *remote == "" || *name == "" {
+			return fmt.Errorf("publish: -remote and -name are required")
+		}
+		mh, err := core.Open(*repoDir)
+		if err != nil {
+			return err
+		}
+		if err := mh.Publish(*remote, *name); err != nil {
+			return err
+		}
+		fmt.Printf("published %s to %s\n", *name, *remote)
+		return nil
+
+	case "search":
+		fs := flag.NewFlagSet("search", flag.ExitOnError)
+		remote := fs.String("remote", "", "hub server URL (required)")
+		q := fs.String("q", "", "search query")
+		fs.Parse(args)
+		if *remote == "" {
+			return fmt.Errorf("search: -remote is required")
+		}
+		infos, err := core.Search(*remote, *q)
+		if err != nil {
+			return err
+		}
+		for _, info := range infos {
+			fmt.Printf("%-24s %8d bytes  models=%v  published=%s\n",
+				info.Name, info.SizeBytes, info.Models, info.PublishedAt)
+		}
+		return nil
+
+	case "pull":
+		fs := flag.NewFlagSet("pull", flag.ExitOnError)
+		remote := fs.String("remote", "", "hub server URL (required)")
+		name := fs.String("name", "", "repository name (required)")
+		dest := fs.String("dest", ".", "destination directory")
+		fs.Parse(args)
+		if *remote == "" || *name == "" {
+			return fmt.Errorf("pull: -remote and -name are required")
+		}
+		if _, err := core.Pull(*remote, *name, *dest); err != nil {
+			return err
+		}
+		fmt.Printf("pulled %s into %s\n", *name, *dest)
+		return nil
+
+	default:
+		usage()
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+// parseFloatScheme resolves a CLI scheme spelling like "fixed-8" or
+// "quant-4" into a floatenc.Scheme.
+func parseFloatScheme(spec string) (floatenc.Scheme, error) {
+	switch {
+	case spec == "float16":
+		return floatenc.Scheme{Kind: floatenc.Float16}, nil
+	case spec == "bfloat16":
+		return floatenc.Scheme{Kind: floatenc.BFloat16}, nil
+	case strings.HasPrefix(spec, "fixed-"):
+		bits, err := strconv.Atoi(spec[len("fixed-"):])
+		if err != nil {
+			return floatenc.Scheme{}, fmt.Errorf("bad scheme %q", spec)
+		}
+		return floatenc.Scheme{Kind: floatenc.Fixed, Bits: bits}, nil
+	case strings.HasPrefix(spec, "quant-"):
+		bits, err := strconv.Atoi(spec[len("quant-"):])
+		if err != nil {
+			return floatenc.Scheme{}, fmt.Errorf("bad scheme %q", spec)
+		}
+		return floatenc.Scheme{Kind: floatenc.QuantUniform, Bits: bits}, nil
+	default:
+		return floatenc.Scheme{}, fmt.Errorf("unknown float scheme %q (float16, bfloat16, fixed-N, quant-N)", spec)
+	}
+}
+
+// sortedNames lists a weight snapshot's layer names deterministically.
+func sortedNames(w map[string]*tensor.Matrix) []string {
+	names := make([]string, 0, len(w))
+	for k := range w {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,281 @@
+package main
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"modelhub/internal/core"
+	"modelhub/internal/data"
+	"modelhub/internal/hub"
+)
+
+// The CLI is exercised through run() directly; stdout noise is fine under
+// `go test` and the assertions are on state, not output text.
+
+func repoArgs(dir string, args ...string) []string {
+	return append([]string{"-repo", dir}, args...)
+}
+
+func TestCLILifecycle(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("init", []string{"-repo", dir}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("init", []string{"-repo", dir}); err == nil {
+		t.Fatal("double init must fail")
+	}
+	// Stage a file, train two versions (one fine-tuned).
+	if err := os.WriteFile(filepath.Join(dir, "notes.md"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("add", repoArgs(dir, "notes.md")); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("train", repoArgs(dir, "-name", "lenet-v1", "-epochs", "1", "-checkpoint-every", "8", "-seed", "1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("train", repoArgs(dir, "-name", "lenet-v2", "-epochs", "1", "-lr", "0.01", "-parent", "1", "-seed", "2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("copy", repoArgs(dir, "-from", "1", "-name", "scaffold")); err != nil {
+		t.Fatal(err)
+	}
+	for _, cmd := range [][2]string{{"list", ""}, {"desc", "1"}} {
+		args := repoArgs(dir)
+		if cmd[1] != "" {
+			args = repoArgs(dir, "-v", cmd[1])
+		}
+		if err := run(cmd[0], args); err != nil {
+			t.Fatalf("%s: %v", cmd[0], err)
+		}
+	}
+	if err := run("diff", repoArgs(dir, "-a", "1", "-b", "2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("query", repoArgs(dir, `select m where m.name like "lenet%"`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("archive", repoArgs(dir, "-algo", "pas-mt", "-alpha", "2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("eval", repoArgs(dir, "-v", "2", "-n", "20")); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("eval", repoArgs(dir, "-v", "2", "-n", "10", "-progressive")); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("eval", repoArgs(dir, "-v", "2", "-n", "10", "-prefix", "2")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCLIHubRoundTrip(t *testing.T) {
+	srv, err := hub.NewServer(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	dir := t.TempDir()
+	if err := run("init", []string{"-repo", dir}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("train", repoArgs(dir, "-name", "shared", "-epochs", "1", "-seed", "3")); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("publish", repoArgs(dir, "-remote", ts.URL, "-name", "cli-repo")); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("search", []string{"-remote", ts.URL, "-q", "shared"}); err != nil {
+		t.Fatal(err)
+	}
+	dest := t.TempDir()
+	if err := run("pull", []string{"-remote", ts.URL, "-name", "cli-repo", "-dest", dest}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("list", repoArgs(dest)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("list", repoArgs(dir)); err == nil {
+		t.Fatal("list outside a repo must fail")
+	}
+	if err := run("bogus", nil); err == nil {
+		t.Fatal("unknown command must fail")
+	}
+	if err := run("init", []string{"-repo", dir}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("train", repoArgs(dir)); err == nil {
+		t.Fatal("train without -name must fail")
+	}
+	if err := run("copy", repoArgs(dir)); err == nil {
+		t.Fatal("copy without flags must fail")
+	}
+	if err := run("desc", repoArgs(dir)); err == nil {
+		t.Fatal("desc without -v must fail")
+	}
+	if err := run("diff", repoArgs(dir)); err == nil {
+		t.Fatal("diff without ids must fail")
+	}
+	if err := run("eval", repoArgs(dir)); err == nil {
+		t.Fatal("eval without -v must fail")
+	}
+	if err := run("query", repoArgs(dir)); err == nil {
+		t.Fatal("query without a statement must fail")
+	}
+	if err := run("query", repoArgs(dir, "not a query")); err == nil {
+		t.Fatal("bad DQL must fail")
+	}
+	if err := run("add", repoArgs(dir)); err == nil {
+		t.Fatal("add without files must fail")
+	}
+	if err := run("publish", repoArgs(dir)); err == nil {
+		t.Fatal("publish without remote must fail")
+	}
+	if err := run("search", nil); err == nil {
+		t.Fatal("search without remote must fail")
+	}
+	if err := run("pull", nil); err == nil {
+		t.Fatal("pull without flags must fail")
+	}
+}
+
+func TestCLIHTMLReports(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("init", []string{"-repo", dir}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("train", repoArgs(dir, "-name", "m1", "-epochs", "1", "-seed", "4")); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("train", repoArgs(dir, "-name", "m2", "-epochs", "1", "-lr", "0.05", "-seed", "5")); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct {
+		cmd  string
+		args []string
+	}{
+		{"list", repoArgs(dir)},
+		{"desc", repoArgs(dir, "-v", "1")},
+		{"diff", repoArgs(dir, "-a", "1", "-b", "2")},
+	} {
+		out := filepath.Join(t.TempDir(), c.cmd+".html")
+		if err := run(c.cmd, append(c.args, "-html", out)); err != nil {
+			t.Fatalf("%s -html: %v", c.cmd, err)
+		}
+		blob, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(blob), "<!DOCTYPE html>") {
+			t.Fatalf("%s: not an HTML document", c.cmd)
+		}
+	}
+}
+
+func TestCLIPlot(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("init", []string{"-repo", dir}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("train", repoArgs(dir, "-name", "m", "-epochs", "1", "-seed", "6")); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("archive", repoArgs(dir, "-algo", "mst")); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(t.TempDir(), "weights.html")
+	// Plot from 2 byte planes only — the paper's partial-retrieval use case.
+	if err := run("plot", repoArgs(dir, "-v", "1", "-prefix", "2", "-o", out)); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(blob), "<svg") {
+		t.Fatal("plot output missing SVG")
+	}
+	if err := run("plot", repoArgs(dir, "-v", "1", "-layer", "ghost", "-o", out)); err == nil {
+		t.Fatal("unknown layer must fail")
+	}
+}
+
+func TestCLIArchiveCheckpointScheme(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("init", []string{"-repo", dir}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("train", repoArgs(dir, "-name", "m", "-epochs", "1", "-checkpoint-every", "8", "-seed", "7")); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("archive", repoArgs(dir, "-algo", "mst", "-checkpoint-scheme", "fixed-8")); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("archive", repoArgs(dir, "-checkpoint-scheme", "wat")); err == nil {
+		t.Fatal("bad scheme must fail")
+	}
+	if err := run("eval", repoArgs(dir, "-v", "1", "-n", "10")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCLIEvalWithDataFile(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("init", []string{"-repo", dir}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("train", repoArgs(dir, "-name", "m", "-epochs", "1", "-seed", "8")); err != nil {
+		t.Fatal(err)
+	}
+	points := filepath.Join(t.TempDir(), "points.json")
+	if err := data.SaveExamples(points, core.TestSet(15, 77)); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("eval", repoArgs(dir, "-v", "1", "-data", points)); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("eval", repoArgs(dir, "-v", "1", "-data", "/nonexistent.json")); err == nil {
+		t.Fatal("missing data file must fail")
+	}
+}
+
+func TestCLIDiffWeights(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("init", []string{"-repo", dir}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("train", repoArgs(dir, "-name", "a", "-epochs", "1", "-seed", "9")); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("train", repoArgs(dir, "-name", "b", "-epochs", "1", "-parent", "1", "-lr", "0.01", "-seed", "10")); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("diff", repoArgs(dir, "-a", "1", "-b", "2", "-weights")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCLIHistory(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("init", []string{"-repo", dir}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("train", repoArgs(dir, "-name", "m", "-epochs", "1", "-checkpoint-every", "8", "-seed", "11")); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("history", repoArgs(dir, "-v", "1", "-n", "20")); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("history", repoArgs(dir)); err == nil {
+		t.Fatal("history without -v must fail")
+	}
+}

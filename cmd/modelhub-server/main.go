@@ -1,0 +1,31 @@
+// Command modelhub-server runs the hosted ModelHub service (paper Fig. 3,
+// remote side): an HTTP server that stores published DLV repositories and
+// answers search and pull requests from dlv clients.
+//
+// Usage:
+//
+//	modelhub-server [-addr :8080] [-data DIR]
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"modelhub/internal/hub"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	dataDir := flag.String("data", "modelhub-data", "directory for published repositories")
+	flag.Parse()
+
+	srv, err := hub.NewServer(*dataDir)
+	if err != nil {
+		log.Fatalf("modelhub-server: %v", err)
+	}
+	log.Printf("modelhub-server listening on %s, storing repositories in %s", *addr, *dataDir)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		log.Fatalf("modelhub-server: %v", err)
+	}
+}

@@ -1,0 +1,105 @@
+// DQL exploration: a model-enumeration session with the paper's Queries
+// 1-4. A repository is populated with model variants; DQL then selects by
+// metadata and graph structure, slices a reusable trunk, constructs new
+// variants by mutation, and runs a hyperparameter grid search with early
+// elimination (keep top-k).
+//
+// Run with: go run ./examples/dql-exploration
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"modelhub/internal/core"
+	"modelhub/internal/dlv"
+	"modelhub/internal/dnn"
+	"modelhub/internal/zoo"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "modelhub-dql-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	mh, err := core.Init(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("populating the repository with model variants...")
+	if _, err := mh.TrainAndCommit("alexnet_v1", core.TrainOptions{Arch: "alexnet-mini", Epochs: 1, Seed: 1}); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := mh.TrainAndCommit("lenet_v1", core.TrainOptions{Arch: "lenet", Epochs: 1, Seed: 2}); err != nil {
+		log.Fatal(err)
+	}
+	// An average-pool variant, committed without training (a scaffold).
+	avg := zoo.LeNet("lenet-avg_v1")
+	for i := range avg.Nodes {
+		if avg.Nodes[i].Kind == dnn.KindPool {
+			avg.Nodes[i].Mode = dnn.PoolAvg
+		}
+	}
+	if _, err := mh.Repo.Commit(dlv.CommitInput{
+		Name: "lenet-avg_v1", NetDef: avg, Msg: "scaffold: avg-pool variant",
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(title, q string) *core.ModelHub {
+		fmt.Printf("\n-- %s --\n%s\n", title, q)
+		res, err := mh.Query(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch {
+		case res.Versions != nil:
+			for _, v := range res.Versions {
+				fmt.Printf("  -> %d %s (accuracy %.4f)\n", v.ID, v.Name, v.Accuracy)
+			}
+		case res.Defs != nil:
+			for _, def := range res.Defs {
+				fmt.Printf("  -> derived %s with %d layers\n", def.Name, len(def.Nodes))
+				for _, n := range def.Nodes {
+					fmt.Printf("       %-12s %s\n", n.Name, n.Kind)
+				}
+			}
+		default:
+			for i, c := range res.Candidates {
+				fmt.Printf("  -> #%d %s lr=%g momentum=%g: loss=%.4f acc=%.4f\n",
+					i+1, c.Def.Name, c.Config.BaseLR, c.Config.Momentum, c.Loss, c.Acc)
+			}
+		}
+		return mh
+	}
+
+	// Query 1: select by name pattern + graph structure.
+	run("Query 1: select models whose conv layers feed MAX pools",
+		`select m1 where m1.name like "%_v1" and m1["conv[1,2]"].next has POOL("MAX")`)
+
+	// Query 2: slice a reusable feature trunk.
+	run("Query 2: slice the conv trunk out of lenet_v1",
+		`slice m2 from m1 where m1.name = "lenet_v1"
+		 mutate m2.input = m1["conv1"] and m2.output = m1["ip1"]`)
+
+	// Query 3: construct variants by inserting activations.
+	run("Query 3: insert an extra activation after avg-pooled convs",
+		`construct m2 from m1
+		 where m1.name like "lenet-avg%" and m1["conv*($1)"].next has POOL("AVG")
+		 mutate m1["conv*($1)"].insert = TANH("extra$1")`)
+
+	// Query 4: evaluate the constructed models over a grid, keep the best.
+	if err := mh.Engine.RegisterQuery("query3",
+		`construct m2 from m1
+		 where m1.name like "lenet-avg%" and m1["conv*($1)"].next has POOL("AVG")
+		 mutate m1["conv*($1)"].insert = TANH("extra$1")`); err != nil {
+		log.Fatal(err)
+	}
+	run("Query 4: grid-search hyperparameters over the constructed models",
+		`evaluate m from "query3"
+		 vary config.base_lr in [0.1, 0.01] and config.momentum in [0, 0.9]
+		 keep top(3, m["loss"], 20)`)
+}

@@ -1,0 +1,3 @@
+module modelhub
+
+go 1.22

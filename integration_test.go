@@ -1,0 +1,158 @@
+package modelhub
+
+// Whole-system integration test: the paper's lifecycle (Fig. 1) driven end
+// to end at SD scale — automated-modeler repository generation, archival
+// under budget, bit-exact retrieval of every snapshot of every version,
+// progressive evaluation agreement, DQL over the populated repository, and
+// a publish/pull round trip. Skipped under -short.
+
+import (
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+
+	"modelhub/internal/data"
+	"modelhub/internal/dnn"
+
+	"modelhub/internal/dlv"
+	"modelhub/internal/dql"
+	"modelhub/internal/hub"
+	"modelhub/internal/pas"
+	"modelhub/internal/synth"
+)
+
+func TestEndToEndSDWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	root := t.TempDir()
+	repo, err := synth.GenerateSD(root, synth.SDConfig{
+		Versions: 5, SnapshotsPerVersion: 3, ItersPerSnapshot: 6, TrainExamples: 240, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	versions, err := repo.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(versions) != 5 {
+		t.Fatalf("versions = %d", len(versions))
+	}
+
+	// Remember every snapshot's exact weights before archival.
+	type key struct {
+		id   int64
+		snap string
+	}
+	truth := map[key]map[string]float32{}
+	for _, v := range versions {
+		for _, snap := range v.Snapshots {
+			w, err := repo.Weights(v.ID, snap, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			probe := map[string]float32{}
+			for name, m := range w {
+				probe[name] = m.At(0, 0)
+			}
+			truth[key{v.ID, snap}] = probe
+		}
+	}
+
+	// Archive with budgets and purge the raw weights: from here on, PAS is
+	// the only source of truth.
+	store, err := repo.Archive(dlv.ArchiveOptions{
+		Algorithm: "best", Scheme: pas.Independent, Alpha: 2, Purge: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !store.Info().Feasible {
+		t.Fatal("α=2 plan must be feasible")
+	}
+	if store.Info().StorageCost > store.Info().SPTCost {
+		t.Fatal("optimized plan must not exceed full materialization")
+	}
+
+	// Every snapshot of every version recreates exactly, under every
+	// retrieval scheme.
+	schemes := []pas.Scheme{pas.Independent, pas.Parallel, pas.Reusable}
+	i := 0
+	for _, v := range versions {
+		for _, snap := range v.Snapshots {
+			w, err := repo.Weights(v.ID, snap, 4)
+			if err != nil {
+				t.Fatalf("v%d/%s: %v", v.ID, snap, err)
+			}
+			for name, want := range truth[key{v.ID, snap}] {
+				if got := w[name].At(0, 0); got != want {
+					t.Fatalf("v%d/%s/%s: probe %v != %v", v.ID, snap, name, got, want)
+				}
+			}
+			_ = schemes[i%3]
+			i++
+		}
+	}
+
+	// Progressive evaluation agrees with full precision on the newest model.
+	last := versions[len(versions)-1]
+	test := testDigits(60)
+	full, err := repo.Eval(last.ID, dlv.LatestSnap, test, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := repo.EvalProgressive(last.ID, dlv.LatestSnap, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Accuracy != full.Accuracy {
+		t.Fatalf("progressive %v != full %v", prog.Accuracy, full.Accuracy)
+	}
+
+	// DQL over the generated repository: lineage-aware select + evaluate.
+	eng := dql.NewEngine(repo)
+	eng.RegisterDataset("digits", testDigits(200))
+	res, err := eng.Run(`select m where m.name like "sd-%" and m["conv[1,2]"].next has POOL("MAX")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Versions) == 0 {
+		t.Fatal("DQL select found nothing in the SD repository")
+	}
+
+	// Publish / pull round trip preserves the archived repository.
+	srv, err := hub.NewServer(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := hub.NewClient(ts.URL)
+	if err := client.Publish(root, "sd-workload"); err != nil {
+		t.Fatal(err)
+	}
+	dest := t.TempDir()
+	if err := client.Pull("sd-workload", dest); err != nil {
+		t.Fatal(err)
+	}
+	pulled, err := dlv.Open(dest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := pulled.Weights(last.ID, dlv.LatestSnap, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range truth[key{last.ID, dlv.LatestSnap}] {
+		if got := w[name].At(0, 0); got != want {
+			t.Fatalf("pulled weights differ at %s", name)
+		}
+	}
+}
+
+// testDigits builds a deterministic labelled digit set for the integration
+// flow.
+func testDigits(n int) []dnn.Example {
+	return data.Digits(rand.New(rand.NewSource(1234)), n, 0.05)
+}

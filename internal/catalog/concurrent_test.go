@@ -1,0 +1,87 @@
+package catalog
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// The catalog backs concurrent dlv commands; hammer it from many goroutines
+// (run with -race).
+func TestConcurrentInsertSelect(t *testing.T) {
+	db := openWith(t)
+	var wg sync.WaitGroup
+	const writers, rows = 8, 50
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rows; i++ {
+				err := db.Insert("model_version", Row{
+					"id":       int64(w*rows + i),
+					"name":     fmt.Sprintf("m%d-%d", w, i),
+					"accuracy": float64(i) / rows,
+				})
+				if err != nil {
+					t.Errorf("insert: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Readers run concurrently with the writers.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if _, err := db.Select("model_version", Query{
+					Where: []Cond{{Col: "accuracy", Op: Ge, Val: 0.5}},
+				}); err != nil {
+					t.Errorf("select: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	n, err := db.Count("model_version", nil)
+	if err != nil || n != writers*rows {
+		t.Fatalf("count = %d, %v", n, err)
+	}
+}
+
+func TestConcurrentUpdateDelete(t *testing.T) {
+	db := openWith(t)
+	for i := 0; i < 200; i++ {
+		if err := db.Insert("model_version", Row{"id": int64(i), "name": fmt.Sprintf("m%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				id := int64(w*50 + i)
+				if _, err := db.Update("model_version",
+					[]Cond{{Col: "id", Op: Eq, Val: id}}, Row{"accuracy": 0.5}); err != nil {
+					t.Errorf("update: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			if _, _, err := db.Get("model_version", int64(i)); err != nil {
+				t.Errorf("get: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}

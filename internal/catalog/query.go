@@ -1,0 +1,338 @@
+package catalog
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CmpOp enumerates predicate operators.
+type CmpOp string
+
+// Supported predicate operators.
+const (
+	Eq   CmpOp = "="
+	Ne   CmpOp = "!="
+	Lt   CmpOp = "<"
+	Le   CmpOp = "<="
+	Gt   CmpOp = ">"
+	Ge   CmpOp = ">="
+	Like CmpOp = "LIKE" // SQL LIKE with % and _ wildcards, text columns only
+)
+
+// Cond is one conjunct of a WHERE clause.
+type Cond struct {
+	Col string
+	Op  CmpOp
+	Val any
+}
+
+// Query is a conjunctive select over one table.
+type Query struct {
+	Where   []Cond
+	OrderBy string // column name; "" = insertion order
+	Desc    bool
+	Limit   int // 0 = unlimited
+}
+
+// Select scans the table and returns matching rows (copies).
+func (db *DB) Select(tableName string, q Query) ([]Row, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[tableName]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoTable, tableName)
+	}
+	candidates, err := t.candidateRows(q.Where)
+	if err != nil {
+		return nil, err
+	}
+	var out []Row
+	for _, i := range candidates {
+		row := t.rows[i]
+		match := true
+		for _, c := range q.Where {
+			ok, err := evalCond(row, c)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				match = false
+				break
+			}
+		}
+		if match {
+			out = append(out, cloneRow(row))
+		}
+	}
+	if q.OrderBy != "" {
+		col := q.OrderBy
+		sort.SliceStable(out, func(a, b int) bool {
+			less, _ := lessValue(out[a][col], out[b][col])
+			if q.Desc {
+				return !less && !equalValue(out[a][col], out[b][col])
+			}
+			return less
+		})
+	}
+	if q.Limit > 0 && len(out) > q.Limit {
+		out = out[:q.Limit]
+	}
+	return out, nil
+}
+
+// Count returns the number of rows matching the conditions.
+func (db *DB) Count(tableName string, where []Cond) (int, error) {
+	rows, err := db.Select(tableName, Query{Where: where})
+	if err != nil {
+		return 0, err
+	}
+	return len(rows), nil
+}
+
+// Update modifies all matching rows with the given assignments and returns
+// the number updated. Primary key columns cannot be updated.
+func (db *DB) Update(tableName string, where []Cond, set Row) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[tableName]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNoTable, tableName)
+	}
+	if pk, has := t.pkCol(); has {
+		if _, touches := set[pk]; touches {
+			return 0, fmt.Errorf("%w: cannot update primary key %q", ErrSchema, pk)
+		}
+	}
+	coerced, err := coerceRow(t.schema, set)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for i := range t.rows {
+		match := true
+		for _, c := range where {
+			ok, err := evalCond(t.rows[i], c)
+			if err != nil {
+				return n, err
+			}
+			if !ok {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		for col, v := range coerced {
+			if idx, indexed := t.indexes[col]; indexed {
+				removeFromIndex(idx, t.rows[i][col], i)
+				idx[v] = append(idx[v], i)
+			}
+			t.rows[i][col] = v
+		}
+		n++
+	}
+	return n, nil
+}
+
+// Delete removes all matching rows and returns the number removed.
+func (db *DB) Delete(tableName string, where []Cond) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[tableName]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNoTable, tableName)
+	}
+	var kept []Row
+	removed := 0
+	for i := range t.rows {
+		match := true
+		for _, c := range where {
+			ok, err := evalCond(t.rows[i], c)
+			if err != nil {
+				return removed, err
+			}
+			if !ok {
+				match = false
+				break
+			}
+		}
+		if match {
+			removed++
+		} else {
+			kept = append(kept, t.rows[i])
+		}
+	}
+	if removed > 0 {
+		t.rows = kept
+		t.rebuildIndexes()
+	}
+	return removed, nil
+}
+
+func (t *table) rebuildIndexes() {
+	t.primary = map[any]int{}
+	for col := range t.indexes {
+		t.indexes[col] = index{}
+	}
+	pk, hasPK := t.pkCol()
+	for i, row := range t.rows {
+		if hasPK {
+			if v, ok := row[pk]; ok {
+				t.primary[v] = i
+			}
+		}
+		for col, idx := range t.indexes {
+			if v, ok := row[col]; ok {
+				idx[v] = append(idx[v], i)
+			}
+		}
+	}
+}
+
+func removeFromIndex(idx index, val any, rowIdx int) {
+	rows := idx[val]
+	for i, r := range rows {
+		if r == rowIdx {
+			idx[val] = append(rows[:i], rows[i+1:]...)
+			return
+		}
+	}
+}
+
+// candidateRows narrows the scan using an index when an equality condition
+// hits an indexed (or primary key) column.
+func (t *table) candidateRows(where []Cond) ([]int, error) {
+	pk, hasPK := t.pkCol()
+	for _, c := range where {
+		if c.Op != Eq {
+			continue
+		}
+		v := normalizeKey(c.Val)
+		if hasPK && c.Col == pk {
+			if i, ok := t.primary[v]; ok {
+				return []int{i}, nil
+			}
+			return nil, nil
+		}
+		if idx, ok := t.indexes[c.Col]; ok {
+			return append([]int(nil), idx[v]...), nil
+		}
+	}
+	all := make([]int, len(t.rows))
+	for i := range all {
+		all[i] = i
+	}
+	return all, nil
+}
+
+func evalCond(row Row, c Cond) (bool, error) {
+	v, ok := row[c.Col]
+	if !ok {
+		return false, nil // NULL matches nothing
+	}
+	want := normalizeKey(c.Val)
+	switch c.Op {
+	case Eq:
+		return equalValue(v, want), nil
+	case Ne:
+		return !equalValue(v, want), nil
+	case Lt, Le, Gt, Ge:
+		less, err := lessValue(v, want)
+		if err != nil {
+			return false, err
+		}
+		eq := equalValue(v, want)
+		switch c.Op {
+		case Lt:
+			return less && !eq, nil
+		case Le:
+			return less || eq, nil
+		case Gt:
+			return !less && !eq, nil
+		default:
+			return !less || eq, nil
+		}
+	case Like:
+		s, okS := v.(string)
+		pat, okP := want.(string)
+		if !okS || !okP {
+			return false, fmt.Errorf("%w: LIKE needs text operands", ErrType)
+		}
+		return likeMatch(pat, s), nil
+	default:
+		return false, fmt.Errorf("catalog: unknown operator %q", c.Op)
+	}
+}
+
+func equalValue(a, b any) bool {
+	a, b = widen(a), widen(b)
+	return a == b
+}
+
+// widen promotes int64 to float64 so int/float comparisons behave like SQL.
+func widen(v any) any {
+	if x, ok := v.(int64); ok {
+		return float64(x)
+	}
+	if x, ok := v.(int); ok {
+		return float64(x)
+	}
+	return v
+}
+
+func lessValue(a, b any) (bool, error) {
+	aw, bw := widen(a), widen(b)
+	switch x := aw.(type) {
+	case float64:
+		y, ok := bw.(float64)
+		if !ok {
+			return false, fmt.Errorf("%w: comparing %T with %T", ErrType, a, b)
+		}
+		return x < y, nil
+	case string:
+		y, ok := bw.(string)
+		if !ok {
+			return false, fmt.Errorf("%w: comparing %T with %T", ErrType, a, b)
+		}
+		return x < y, nil
+	case bool:
+		y, ok := bw.(bool)
+		if !ok {
+			return false, fmt.Errorf("%w: comparing %T with %T", ErrType, a, b)
+		}
+		return !x && y, nil
+	default:
+		return false, fmt.Errorf("%w: unorderable type %T", ErrType, a)
+	}
+}
+
+// likeMatch implements SQL LIKE: % matches any run, _ matches one byte.
+// Iterative with single-star backtracking — O(len(p)·len(s)) worst case, so
+// adversarial patterns like "%a%a%a%…" cannot blow the stack or go
+// exponential.
+func likeMatch(p, s string) bool {
+	i, j := 0, 0          // positions in s and p
+	starP, starS := -1, 0 // last % in p and the s position it matched up to
+	for i < len(s) {
+		switch {
+		case j < len(p) && (p[j] == s[i] || p[j] == '_'):
+			i++
+			j++
+		case j < len(p) && p[j] == '%':
+			starP, starS = j, i
+			j++
+		case starP >= 0:
+			// Backtrack: let the last % swallow one more byte.
+			starS++
+			i = starS
+			j = starP + 1
+		default:
+			return false
+		}
+	}
+	for j < len(p) && p[j] == '%' {
+		j++
+	}
+	return j == len(p)
+}

@@ -1,0 +1,188 @@
+// Package core is the ModelHub facade: one documented entry point wiring
+// the DLV version control system, the relational catalog, the DQL engine,
+// the PAS parameter archive, and the hub client together (paper Fig. 3).
+// The command-line tool and the examples program against this API.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"modelhub/internal/data"
+	"modelhub/internal/dlv"
+	"modelhub/internal/dnn"
+	"modelhub/internal/dql"
+	"modelhub/internal/hub"
+	"modelhub/internal/zoo"
+)
+
+// ModelHub is an opened workspace: a local DLV repository plus the DQL
+// engine bound to it.
+type ModelHub struct {
+	Repo   *dlv.Repo
+	Engine *dql.Engine
+}
+
+// Init creates a new repository in dir and returns the workspace.
+func Init(dir string) (*ModelHub, error) {
+	repo, err := dlv.Init(dir)
+	if err != nil {
+		return nil, err
+	}
+	return wrap(repo), nil
+}
+
+// Open opens an existing repository in dir.
+func Open(dir string) (*ModelHub, error) {
+	repo, err := dlv.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	return wrap(repo), nil
+}
+
+func wrap(repo *dlv.Repo) *ModelHub {
+	mh := &ModelHub{Repo: repo, Engine: dql.NewEngine(repo)}
+	// The synthetic digit task is the default evaluation dataset; callers
+	// can register more via mh.Engine.RegisterDataset.
+	rng := rand.New(rand.NewSource(12345))
+	mh.Engine.RegisterDataset("digits", data.Digits(rng, 400, 0.05))
+	return mh
+}
+
+// Arch resolves a named reference architecture from the model zoo.
+func Arch(name string) (*dnn.NetDef, error) {
+	switch name {
+	case "lenet":
+		return zoo.LeNet(name), nil
+	case "alexnet-mini":
+		return zoo.AlexNetMini(name), nil
+	case "vgg-mini":
+		return zoo.VGGMini(name), nil
+	case "resnet-mini":
+		return zoo.ResNetMini(name), nil
+	case "resnet-skip":
+		return zoo.ResNetSkip(name), nil
+	default:
+		return nil, fmt.Errorf("core: unknown architecture %q (lenet, alexnet-mini, vgg-mini, resnet-mini, resnet-skip)", name)
+	}
+}
+
+// TrainOptions configure TrainAndCommit.
+type TrainOptions struct {
+	Arch            string // zoo architecture name
+	Epochs          int
+	BatchSize       int
+	LR              float64
+	Momentum        float64
+	CheckpointEvery int
+	Examples        int
+	Seed            int64
+	ParentID        int64
+	Msg             string
+}
+
+// TrainAndCommit trains a zoo architecture on the synthetic digit task and
+// commits the resulting model version, returning its id — the create/update
+// + train/test + evaluate loop of the paper's Fig. 1 in one call.
+func (m *ModelHub) TrainAndCommit(name string, opts TrainOptions) (int64, error) {
+	if opts.Arch == "" {
+		opts.Arch = "lenet"
+	}
+	if opts.Epochs == 0 {
+		opts.Epochs = 2
+	}
+	if opts.BatchSize == 0 {
+		opts.BatchSize = 16
+	}
+	if opts.LR == 0 {
+		opts.LR = 0.1
+	}
+	if opts.Examples == 0 {
+		opts.Examples = 400
+	}
+	def, err := Arch(opts.Arch)
+	if err != nil {
+		return 0, err
+	}
+	def.Name = name
+	rng := rand.New(rand.NewSource(opts.Seed))
+	examples := data.Digits(rng, opts.Examples, 0.05)
+	train, test := data.Split(examples, 0.8)
+	net, err := dnn.Build(def, rand.New(rand.NewSource(opts.Seed+1)))
+	if err != nil {
+		return 0, err
+	}
+	if opts.ParentID != 0 {
+		parent, err := m.Repo.Weights(opts.ParentID, dlv.LatestSnap, 4)
+		if err != nil {
+			return 0, err
+		}
+		for lname, dst := range net.Params() {
+			if src, ok := parent[lname]; ok && src.SameShape(dst) {
+				copy(dst.Data(), src.Data())
+			}
+		}
+	}
+	res, err := dnn.Train(net, train, dnn.TrainConfig{
+		Epochs:          opts.Epochs,
+		BatchSize:       opts.BatchSize,
+		LR:              opts.LR,
+		Momentum:        opts.Momentum,
+		CheckpointEvery: opts.CheckpointEvery,
+		Seed:            opts.Seed + 2,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return m.Repo.Commit(dlv.CommitInput{
+		Name:   name,
+		Msg:    opts.Msg,
+		NetDef: def,
+		Hyper: map[string]string{
+			"base_lr":  fmt.Sprintf("%g", opts.LR),
+			"momentum": fmt.Sprintf("%g", opts.Momentum),
+			"batch":    fmt.Sprintf("%d", opts.BatchSize),
+			"arch":     opts.Arch,
+		},
+		Log:         res.Log,
+		Checkpoints: res.Checkpoints,
+		Final:       res.Final,
+		Accuracy:    dnn.Evaluate(net, test),
+		ParentID:    opts.ParentID,
+	})
+}
+
+// Query runs a DQL statement (dlv query).
+func (m *ModelHub) Query(text string) (*dql.Result, error) {
+	return m.Engine.Run(text)
+}
+
+// Archive consolidates all versions into the PAS store (dlv archive).
+func (m *ModelHub) Archive(opts dlv.ArchiveOptions) error {
+	_, err := m.Repo.Archive(opts)
+	return err
+}
+
+// Publish uploads the repository to a hub server (dlv publish).
+func (m *ModelHub) Publish(remote, name string) error {
+	return hub.NewClient(remote).Publish(m.Repo.Root(), name)
+}
+
+// Search queries a hub server (dlv search).
+func Search(remote, q string) ([]hub.RepoInfo, error) {
+	return hub.NewClient(remote).Search(q)
+}
+
+// Pull downloads a published repository into dir and opens it (dlv pull).
+func Pull(remote, name, dir string) (*ModelHub, error) {
+	if err := hub.NewClient(remote).Pull(name, dir); err != nil {
+		return nil, err
+	}
+	return Open(dir)
+}
+
+// TestSet returns a deterministic held-out digit set for eval commands.
+func TestSet(n int, seed int64) []dnn.Example {
+	return data.Digits(rand.New(rand.NewSource(seed)), n, 0.05)
+}

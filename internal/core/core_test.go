@@ -1,0 +1,115 @@
+package core
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"modelhub/internal/dlv"
+	"modelhub/internal/hub"
+)
+
+func TestEndToEndLifecycle(t *testing.T) {
+	// Init -> train/commit -> query -> fine-tune -> archive -> eval:
+	// the full Fig. 1 loop through the facade.
+	mh, err := Init(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	id1, err := mh.TrainAndCommit("lenet-base", TrainOptions{
+		Epochs: 1, CheckpointEvery: 8, Seed: 1, Msg: "baseline",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fine-tune from the base.
+	id2, err := mh.TrainAndCommit("lenet-ft", TrainOptions{
+		Epochs: 1, LR: 0.01, Seed: 2, ParentID: id1, Msg: "fine-tuned",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DQL over the repository.
+	res, err := mh.Query(`select m where m.name like "lenet%"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Versions) != 2 {
+		t.Fatalf("query found %d versions", len(res.Versions))
+	}
+	// Lineage is recorded.
+	lineage, err := mh.Repo.Lineage(id2)
+	if err != nil || len(lineage) != 1 || lineage[0] != id1 {
+		t.Fatalf("lineage = %v, %v", lineage, err)
+	}
+	// Archive and evaluate from the archive, progressively.
+	if err := mh.Archive(dlv.ArchiveOptions{Algorithm: "pas-mt", Alpha: 2}); err != nil {
+		t.Fatal(err)
+	}
+	test := TestSet(40, 3)
+	full, err := mh.Repo.Eval(id2, dlv.LatestSnap, test, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := mh.Repo.EvalProgressive(id2, dlv.LatestSnap, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Accuracy != full.Accuracy {
+		t.Fatalf("progressive %v != full %v", prog.Accuracy, full.Accuracy)
+	}
+	if full.Accuracy < 0.5 {
+		t.Fatalf("trained model accuracy suspiciously low: %v", full.Accuracy)
+	}
+}
+
+func TestArchUnknown(t *testing.T) {
+	if _, err := Arch("resnet-9000"); err == nil {
+		t.Fatal("unknown arch must error")
+	}
+	for _, name := range []string{"lenet", "alexnet-mini", "vgg-mini", "resnet-mini", "resnet-skip"} {
+		if _, err := Arch(name); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestPublishSearchPullViaFacade(t *testing.T) {
+	srv, err := hub.NewServer(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	mh, err := Init(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mh.TrainAndCommit("shared-model", TrainOptions{Epochs: 1, Seed: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mh.Publish(ts.URL, "myrepo"); err != nil {
+		t.Fatal(err)
+	}
+	found, err := Search(ts.URL, "shared")
+	if err != nil || len(found) != 1 {
+		t.Fatalf("search = %v, %v", found, err)
+	}
+	pulled, err := Pull(ts.URL, "myrepo", t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := pulled.Repo.VersionByName("shared-model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Accuracy <= 0 {
+		t.Fatalf("pulled version = %+v", v)
+	}
+}
+
+func TestOpenNonRepo(t *testing.T) {
+	if _, err := Open(t.TempDir()); err == nil {
+		t.Fatal("open of non-repo must fail")
+	}
+}

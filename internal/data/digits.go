@@ -1,0 +1,145 @@
+// Package data provides the synthetic datasets used throughout the
+// reproduction. The paper evaluates on MNIST and ILSVRC-2012, which are not
+// shippable here; these generators produce deterministic, learnable image
+// and vector classification tasks that exercise the identical training,
+// checkpointing, archival, and progressive-evaluation code paths (see
+// DESIGN.md, substitution table).
+package data
+
+import (
+	"math/rand"
+
+	"modelhub/internal/dnn"
+)
+
+// DigitSize is the side length of generated digit images.
+const DigitSize = 12
+
+// NumDigits is the label domain size of the digit task.
+const NumDigits = 10
+
+// Seven-segment layout:
+//
+//	 _      segment 0: top
+//	|_|     segments 1,2: top-left, top-right; 3: middle
+//	|_|     segments 4,5: bottom-left, bottom-right; 6: bottom
+var segmentOf = [10][7]bool{
+	{true, true, true, false, true, true, true},     // 0
+	{false, false, true, false, false, true, false}, // 1
+	{true, false, true, true, true, false, true},    // 2
+	{true, false, true, true, false, true, true},    // 3
+	{false, true, true, true, false, true, false},   // 4
+	{true, true, false, true, false, true, true},    // 5
+	{true, true, false, true, true, true, true},     // 6
+	{true, false, true, false, false, true, false},  // 7
+	{true, true, true, true, true, true, true},      // 8
+	{true, true, true, true, false, true, true},     // 9
+}
+
+// drawSegment rasterizes segment s of a 6x10 glyph at offset (ox, oy) into
+// img with the given intensity.
+func drawSegment(img *dnn.Volume, s, ox, oy int, intensity float32) {
+	set := func(x, y int) {
+		if x >= 0 && x < img.Shape.W && y >= 0 && y < img.Shape.H {
+			img.Set(0, y, x, intensity)
+		}
+	}
+	const w, h = 6, 10 // glyph box
+	switch s {
+	case 0: // top bar
+		for x := 0; x < w; x++ {
+			set(ox+x, oy)
+		}
+	case 1: // top-left
+		for y := 0; y <= h/2; y++ {
+			set(ox, oy+y)
+		}
+	case 2: // top-right
+		for y := 0; y <= h/2; y++ {
+			set(ox+w-1, oy+y)
+		}
+	case 3: // middle bar
+		for x := 0; x < w; x++ {
+			set(ox+x, oy+h/2)
+		}
+	case 4: // bottom-left
+		for y := h / 2; y < h; y++ {
+			set(ox, oy+y)
+		}
+	case 5: // bottom-right
+		for y := h / 2; y < h; y++ {
+			set(ox+w-1, oy+y)
+		}
+	case 6: // bottom bar
+		for x := 0; x < w; x++ {
+			set(ox+x, oy+h-1)
+		}
+	}
+}
+
+// Digit renders one noisy digit image. Jitter shifts the glyph by up to one
+// pixel; pixel noise is N(0, noise²).
+func Digit(rng *rand.Rand, label int, noise float64) *dnn.Volume {
+	img := dnn.NewVolume(dnn.Shape{C: 1, H: DigitSize, W: DigitSize})
+	ox := 3 + rng.Intn(3) - 1
+	oy := 1 + rng.Intn(3) - 1
+	intensity := 0.8 + rng.Float32()*0.4
+	for s := 0; s < 7; s++ {
+		if segmentOf[label][s] {
+			drawSegment(img, s, ox, oy, intensity)
+		}
+	}
+	if noise > 0 {
+		for i := range img.Data {
+			img.Data[i] += float32(rng.NormFloat64() * noise)
+		}
+	}
+	return img
+}
+
+// Digits generates n labelled digit examples with balanced classes.
+func Digits(rng *rand.Rand, n int, noise float64) []dnn.Example {
+	out := make([]dnn.Example, n)
+	for i := range out {
+		label := i % NumDigits
+		out[i] = dnn.Example{Input: Digit(rng, label, noise), Label: label}
+	}
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// Blobs generates an easy vector classification task: `classes` Gaussian
+// clusters in `dim` dimensions with the given intra-cluster spread.
+func Blobs(rng *rand.Rand, n, classes, dim int, spread float64) []dnn.Example {
+	centers := make([][]float32, classes)
+	for c := range centers {
+		centers[c] = make([]float32, dim)
+		for d := range centers[c] {
+			centers[c][d] = float32(rng.NormFloat64())
+		}
+	}
+	out := make([]dnn.Example, n)
+	for i := range out {
+		label := i % classes
+		v := make([]float32, dim)
+		for d := range v {
+			v[d] = centers[label][d] + float32(rng.NormFloat64()*spread)
+		}
+		out[i] = dnn.Example{Input: dnn.FlatVolume(v), Label: label}
+	}
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// Split partitions examples into train and test sets; frac is the training
+// fraction in (0, 1).
+func Split(examples []dnn.Example, frac float64) (train, test []dnn.Example) {
+	cut := int(float64(len(examples)) * frac)
+	if cut < 0 {
+		cut = 0
+	}
+	if cut > len(examples) {
+		cut = len(examples)
+	}
+	return examples[:cut], examples[cut:]
+}

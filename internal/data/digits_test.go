@@ -1,0 +1,162 @@
+package data
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"modelhub/internal/dnn"
+)
+
+func TestDigitShapeAndDeterminism(t *testing.T) {
+	a := Digit(rand.New(rand.NewSource(1)), 3, 0.05)
+	b := Digit(rand.New(rand.NewSource(1)), 3, 0.05)
+	if a.Shape != (dnn.Shape{C: 1, H: DigitSize, W: DigitSize}) {
+		t.Fatalf("shape = %v", a.Shape)
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("same seed must render identical digits")
+		}
+	}
+}
+
+func TestDigitsBalancedLabels(t *testing.T) {
+	ex := Digits(rand.New(rand.NewSource(2)), 100, 0.05)
+	counts := make(map[int]int)
+	for _, e := range ex {
+		counts[e.Label]++
+	}
+	for l := 0; l < NumDigits; l++ {
+		if counts[l] != 10 {
+			t.Fatalf("label %d count = %d", l, counts[l])
+		}
+	}
+}
+
+func TestDigitGlyphsDiffer(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	zero := Digit(rng, 0, 0)
+	one := Digit(rand.New(rand.NewSource(3)), 1, 0)
+	same := true
+	for i := range zero.Data {
+		if zero.Data[i] != one.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different digits must render differently")
+	}
+}
+
+func TestBlobs(t *testing.T) {
+	ex := Blobs(rand.New(rand.NewSource(4)), 90, 3, 5, 0.1)
+	if len(ex) != 90 {
+		t.Fatalf("n = %d", len(ex))
+	}
+	counts := make(map[int]int)
+	for _, e := range ex {
+		if e.Input.Shape.Size() != 5 {
+			t.Fatalf("dim = %d", e.Input.Shape.Size())
+		}
+		counts[e.Label]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("classes = %d", len(counts))
+	}
+}
+
+func TestSplit(t *testing.T) {
+	ex := Digits(rand.New(rand.NewSource(5)), 50, 0)
+	train, test := Split(ex, 0.8)
+	if len(train) != 40 || len(test) != 10 {
+		t.Fatalf("split = %d/%d", len(train), len(test))
+	}
+	train, test = Split(ex, 1.5)
+	if len(train) != 50 || len(test) != 0 {
+		t.Fatal("overlarge fraction should clamp")
+	}
+	train, test = Split(ex, -1)
+	if len(train) != 0 || len(test) != 50 {
+		t.Fatal("negative fraction should clamp")
+	}
+}
+
+// A convnet must be able to learn the digit task to high accuracy — the
+// dataset is the substrate for every accuracy experiment.
+func TestDigitsLearnable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	rng := rand.New(rand.NewSource(6))
+	examples := Digits(rng, 600, 0.05)
+	train, test := Split(examples, 0.8)
+	def := dnn.ChainDef("probe", 1, DigitSize, DigitSize, NumDigits,
+		dnn.LayerSpec{Name: "conv1", Kind: dnn.KindConv, Out: 6, K: 3, Pad: 1},
+		dnn.LayerSpec{Name: "relu1", Kind: dnn.KindReLU},
+		dnn.LayerSpec{Name: "pool1", Kind: dnn.KindPool, K: 2, Mode: dnn.PoolMax},
+		dnn.LayerSpec{Name: "ip1", Kind: dnn.KindFull, Out: 32},
+		dnn.LayerSpec{Name: "relu2", Kind: dnn.KindReLU},
+		dnn.LayerSpec{Name: "ip2", Kind: dnn.KindFull, Out: NumDigits},
+	)
+	n, err := dnn.Build(def, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dnn.Train(n, train, dnn.TrainConfig{Epochs: 6, BatchSize: 16, LR: 0.1, Seed: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if acc := dnn.Evaluate(n, test); acc < 0.9 {
+		t.Fatalf("digit task should be learnable, accuracy = %v", acc)
+	}
+}
+
+func TestSaveLoadExamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	examples := Digits(rng, 10, 0.05)
+	path := filepath.Join(t.TempDir(), "points.json")
+	if err := SaveExamples(path, examples); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadExamples(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(examples) {
+		t.Fatalf("n = %d", len(got))
+	}
+	for i := range got {
+		if got[i].Label != examples[i].Label || got[i].Input.Shape != examples[i].Input.Shape {
+			t.Fatalf("example %d metadata mismatch", i)
+		}
+		for j, v := range examples[i].Input.Data {
+			if got[i].Input.Data[j] != v {
+				t.Fatalf("example %d value %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestLoadExamplesErrors(t *testing.T) {
+	if _, err := LoadExamples(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatal("missing file must fail")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("{nope"), 0o644)
+	if _, err := LoadExamples(bad); err == nil {
+		t.Fatal("bad json must fail")
+	}
+	mismatch := filepath.Join(dir, "mismatch.json")
+	os.WriteFile(mismatch, []byte(`[{"label":0,"c":1,"h":2,"w":2,"values":[1]}]`), 0o644)
+	if _, err := LoadExamples(mismatch); err == nil {
+		t.Fatal("shape mismatch must fail")
+	}
+	negative := filepath.Join(dir, "neg.json")
+	os.WriteFile(negative, []byte(`[{"label":-1,"c":1,"h":1,"w":1,"values":[1]}]`), 0o644)
+	if _, err := LoadExamples(negative); err == nil {
+		t.Fatal("negative label must fail")
+	}
+}

@@ -1,0 +1,71 @@
+package data
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"modelhub/internal/dnn"
+)
+
+// JSON example interchange: `dlv eval -data points.json` runs the test
+// phase of a managed model on user-supplied data points (paper Table II:
+// "Evaluate a model with given data").
+//
+// File format: a JSON array of objects
+//
+//	[{"label": 3, "c": 1, "h": 12, "w": 12, "values": [0, 0.5, ...]}, ...]
+//
+// `values` is the channel-major flattening of the input volume.
+
+type jsonExample struct {
+	Label  int       `json:"label"`
+	C      int       `json:"c"`
+	H      int       `json:"h"`
+	W      int       `json:"w"`
+	Values []float32 `json:"values"`
+}
+
+// SaveExamples writes labelled examples to a JSON file.
+func SaveExamples(path string, examples []dnn.Example) error {
+	out := make([]jsonExample, len(examples))
+	for i, ex := range examples {
+		out[i] = jsonExample{
+			Label:  ex.Label,
+			C:      ex.Input.Shape.C,
+			H:      ex.Input.Shape.H,
+			W:      ex.Input.Shape.W,
+			Values: ex.Input.Data,
+		}
+	}
+	blob, err := json.Marshal(out)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, blob, 0o644)
+}
+
+// LoadExamples reads labelled examples from a JSON file written by
+// SaveExamples (or by hand).
+func LoadExamples(path string) ([]dnn.Example, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("data: %w", err)
+	}
+	var in []jsonExample
+	if err := json.Unmarshal(blob, &in); err != nil {
+		return nil, fmt.Errorf("data: parsing %s: %w", path, err)
+	}
+	out := make([]dnn.Example, len(in))
+	for i, je := range in {
+		shape := dnn.Shape{C: je.C, H: je.H, W: je.W}
+		if shape.Size() != len(je.Values) {
+			return nil, fmt.Errorf("data: example %d has %d values for shape %v", i, len(je.Values), shape)
+		}
+		if je.Label < 0 {
+			return nil, fmt.Errorf("data: example %d has negative label", i)
+		}
+		out[i] = dnn.Example{Input: &dnn.Volume{Shape: shape, Data: je.Values}, Label: je.Label}
+	}
+	return out, nil
+}

@@ -1,0 +1,25 @@
+package delta_test
+
+import (
+	"fmt"
+
+	"modelhub/internal/delta"
+	"modelhub/internal/tensor"
+)
+
+// Delta-encoding a fine-tuned matrix against its parent: the XOR delta
+// inverts bit-exactly (paper Sec. IV-B).
+func ExampleCompute() {
+	base := tensor.MustFromSlice(1, 3, []float32{1, 2, 3})
+	target := tensor.MustFromSlice(1, 3, []float32{1, 2.5, 3})
+	d, err := delta.Compute(delta.XOR, base, target)
+	if err != nil {
+		panic(err)
+	}
+	back, err := d.Apply(base)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(back.Equal(target))
+	// Output: true
+}

@@ -1,0 +1,61 @@
+package delta
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"modelhub/internal/tensor"
+)
+
+// Binary format for a Delta:
+//
+//	magic uint32 'M','H','D','0'
+//	op    uint8, pad [3]byte
+//	rows  uint32
+//	cols  uint32
+//	body  Matrix wire format (tensor.WriteTo)
+const deltaMagic uint32 = 0x4d484430
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (d *Delta) MarshalBinary() ([]byte, error) {
+	if d.Body == nil {
+		return nil, fmt.Errorf("delta: nil body")
+	}
+	var buf bytes.Buffer
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:], deltaMagic)
+	hdr[4] = byte(d.Op)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(d.Rows))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(d.Cols))
+	buf.Write(hdr[:])
+	if _, err := d.Body.WriteTo(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (d *Delta) UnmarshalBinary(data []byte) error {
+	if len(data) < 16 {
+		return fmt.Errorf("delta: blob too short (%d bytes)", len(data))
+	}
+	if magic := binary.LittleEndian.Uint32(data[0:]); magic != deltaMagic {
+		return fmt.Errorf("delta: bad magic %#x", magic)
+	}
+	d.Op = Op(data[4])
+	if d.Op > XOR {
+		return fmt.Errorf("%w: %d", ErrOp, d.Op)
+	}
+	d.Rows = int(binary.LittleEndian.Uint32(data[8:]))
+	d.Cols = int(binary.LittleEndian.Uint32(data[12:]))
+	body, err := tensor.ReadMatrix(bytes.NewReader(data[16:]))
+	if err != nil {
+		return fmt.Errorf("delta: body: %w", err)
+	}
+	if body.Rows() != d.Rows || body.Cols() != d.Cols {
+		return fmt.Errorf("delta: body %dx%d does not match header %dx%d", body.Rows(), body.Cols(), d.Rows, d.Cols)
+	}
+	d.Body = body
+	return nil
+}

@@ -1,0 +1,122 @@
+package dlv
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Staging area (dlv add, paper Table II): paths registered with Add are
+// picked up by the next Commit, snapshotting their contents into the object
+// store, and the stage is cleared.
+
+func (r *Repo) stagePath() string { return filepath.Join(r.root, dlvDir, "stage.json") }
+
+// Add stages a repository-relative file for the next commit (dlv add). The
+// file must exist under the repository root.
+func (r *Repo) Add(relPath string) error {
+	clean := filepath.Clean(relPath)
+	if filepath.IsAbs(clean) || strings.HasPrefix(clean, "..") {
+		return fmt.Errorf("%w: path %q must be repository-relative", ErrRepo, relPath)
+	}
+	if strings.HasPrefix(clean, dlvDir) {
+		return fmt.Errorf("%w: cannot stage repository metadata %q", ErrRepo, relPath)
+	}
+	abs := filepath.Join(r.root, clean)
+	info, err := os.Stat(abs)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrRepo, err)
+	}
+	if info.IsDir() {
+		return fmt.Errorf("%w: %q is a directory; stage files individually", ErrRepo, relPath)
+	}
+	staged, err := r.Staged()
+	if err != nil {
+		return err
+	}
+	for _, s := range staged {
+		if s == clean {
+			return nil // already staged
+		}
+	}
+	staged = append(staged, clean)
+	sort.Strings(staged)
+	return r.writeStage(staged)
+}
+
+// Unstage removes a path from the staging area (no error if absent).
+func (r *Repo) Unstage(relPath string) error {
+	clean := filepath.Clean(relPath)
+	staged, err := r.Staged()
+	if err != nil {
+		return err
+	}
+	out := staged[:0]
+	for _, s := range staged {
+		if s != clean {
+			out = append(out, s)
+		}
+	}
+	return r.writeStage(out)
+}
+
+// Staged lists the currently staged repository-relative paths.
+func (r *Repo) Staged() ([]string, error) {
+	blob, err := os.ReadFile(r.stagePath())
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrRepo, err)
+	}
+	var staged []string
+	if err := json.Unmarshal(blob, &staged); err != nil {
+		return nil, fmt.Errorf("%w: corrupt stage file: %v", ErrRepo, err)
+	}
+	return staged, nil
+}
+
+func (r *Repo) writeStage(staged []string) error {
+	if len(staged) == 0 {
+		err := os.Remove(r.stagePath())
+		if err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("%w: %v", ErrRepo, err)
+		}
+		return nil
+	}
+	blob, err := json.Marshal(staged)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(r.stagePath(), blob, 0o644); err != nil {
+		return fmt.Errorf("%w: %v", ErrRepo, err)
+	}
+	return nil
+}
+
+// collectStaged reads the staged files' contents for a commit and clears
+// the stage.
+func (r *Repo) collectStaged() (map[string][]byte, error) {
+	staged, err := r.Staged()
+	if err != nil {
+		return nil, err
+	}
+	if len(staged) == 0 {
+		return nil, nil
+	}
+	out := make(map[string][]byte, len(staged))
+	for _, rel := range staged {
+		content, err := os.ReadFile(filepath.Join(r.root, rel))
+		if err != nil {
+			return nil, fmt.Errorf("%w: staged file %q: %v", ErrRepo, rel, err)
+		}
+		out[rel] = content
+	}
+	if err := r.writeStage(nil); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,209 @@
+package dlv
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"modelhub/internal/catalog"
+	"modelhub/internal/floatenc"
+	"modelhub/internal/pas"
+	"modelhub/internal/tensor"
+)
+
+// pasSnapID is the PAS snapshot identifier of a DLV snapshot.
+func pasSnapID(versionID int64, snap string) string {
+	return fmt.Sprintf("v%06d/%s", versionID, snap)
+}
+
+// ArchiveOptions configure dlv archive.
+type ArchiveOptions struct {
+	// Algorithm, Scheme, Alpha mirror pas.Options.
+	Algorithm string
+	Scheme    pas.Scheme
+	Alpha     float64
+	// LatestBudget and CheckpointBudget set per-snapshot budgets directly
+	// (used when Alpha == 0): latest snapshots are hot (paper Sec. IV-A,
+	// unbalanced access frequencies), checkpoints are cold.
+	LatestBudget     float64
+	CheckpointBudget float64
+	// CheckpointScheme, when non-nil, degrades checkpoint (non-latest)
+	// snapshots through a lossy float representation before archival —
+	// the paper's alternative to deleting snapshots under resource
+	// pressure (Sec. IV-B: "most useful for snapshots whose weights are
+	// primarily used for fine-tuning or initialization"). Latest snapshots
+	// always stay lossless.
+	CheckpointScheme *floatenc.Scheme
+	// PlaneGranularity lets the plan optimizer choose storage per byte
+	// segment rather than per matrix (pas.Options.PlaneGranularity).
+	PlaneGranularity bool
+	// Purge removes the raw weight files after a successful archive.
+	Purge bool
+}
+
+// Archive consolidates every snapshot of every version into a PAS archive
+// (dlv archive). Within a version, consecutive snapshots become delta
+// candidates; across versions, the parent relation links the parent's
+// latest snapshot to the child's snapshots (the fine-tuning pattern the
+// paper exploits).
+func (r *Repo) Archive(opts ArchiveOptions) (*pas.Store, error) {
+	versions, err := r.List()
+	if err != nil {
+		return nil, err
+	}
+	var snaps []pas.SnapshotIn
+	var extra [][2]pas.MatrixRef
+	firstSnapOf := map[int64]string{}
+	latestSnapOf := map[int64]string{}
+	for _, v := range versions {
+		for i, snap := range v.Snapshots {
+			w, err := r.readRawSnapshot(v.ID, snap)
+			if err != nil {
+				return nil, err
+			}
+			if opts.CheckpointScheme != nil && snap != LatestSnap {
+				if w, err = degradeSnapshot(w, *opts.CheckpointScheme); err != nil {
+					return nil, err
+				}
+			}
+			budget := opts.CheckpointBudget
+			if snap == LatestSnap {
+				budget = opts.LatestBudget
+			}
+			id := pasSnapID(v.ID, snap)
+			snaps = append(snaps, pas.SnapshotIn{ID: id, Matrices: w, Budget: budget})
+			if i == 0 {
+				firstSnapOf[v.ID] = id
+			}
+			if i > 0 {
+				// In-version chain: adjacent snapshots share layer names.
+				prevID := pasSnapID(v.ID, v.Snapshots[i-1])
+				for name := range w {
+					extra = append(extra, [2]pas.MatrixRef{
+						{Snapshot: prevID, Name: name},
+						{Snapshot: id, Name: name},
+					})
+				}
+			}
+			if snap == LatestSnap {
+				latestSnapOf[v.ID] = id
+			}
+		}
+	}
+	if len(snaps) == 0 {
+		return nil, fmt.Errorf("%w: nothing to archive", ErrRepo)
+	}
+	// Cross-version candidates along lineage: parent's latest snapshot vs
+	// the child's first snapshot, for layer names they share.
+	for _, v := range versions {
+		if v.ParentID == 0 {
+			continue
+		}
+		parentLatest, okP := latestSnapOf[v.ParentID]
+		childFirst, okC := firstSnapOf[v.ID]
+		if !okP || !okC {
+			continue
+		}
+		pw, err := r.readRawSnapshot(v.ParentID, LatestSnap)
+		if err != nil {
+			return nil, err
+		}
+		cw, err := r.readRawSnapshot(v.ID, v.Snapshots[0])
+		if err != nil {
+			return nil, err
+		}
+		for name := range cw {
+			if _, ok := pw[name]; ok {
+				extra = append(extra, [2]pas.MatrixRef{
+					{Snapshot: parentLatest, Name: name},
+					{Snapshot: childFirst, Name: name},
+				})
+			}
+		}
+	}
+	store, err := pas.Create(r.pasPath(), snaps, pas.Options{
+		Algorithm:        opts.Algorithm,
+		Scheme:           opts.Scheme,
+		Alpha:            opts.Alpha,
+		ExtraPairs:       extra,
+		NoDefaultPairs:   true,
+		PlaneGranularity: opts.PlaneGranularity,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range versions {
+		if len(v.Snapshots) == 0 {
+			continue
+		}
+		if _, err := r.db.Update("model_version",
+			[]catalog.Cond{{Col: "id", Op: catalog.Eq, Val: v.ID}},
+			catalog.Row{"archived": true}); err != nil {
+			return nil, err
+		}
+		if opts.Purge {
+			if err := os.RemoveAll(filepath.Join(r.root, dlvDir, weightsDir, fmt.Sprintf("v%06d", v.ID))); err != nil {
+				return nil, fmt.Errorf("%w: purging raw weights: %v", ErrRepo, err)
+			}
+		}
+	}
+	if err := r.db.Save(); err != nil {
+		return nil, err
+	}
+	return store, nil
+}
+
+// degradeSnapshot round-trips every matrix through a lossy float scheme,
+// collapsing low-order entropy so the archived chunks compress much better.
+func degradeSnapshot(w map[string]*tensor.Matrix, scheme floatenc.Scheme) (map[string]*tensor.Matrix, error) {
+	out := make(map[string]*tensor.Matrix, len(w))
+	for name, m := range w {
+		enc, err := floatenc.Encode(scheme, m)
+		if err != nil {
+			return nil, err
+		}
+		dec, err := floatenc.Decode(enc)
+		if err != nil {
+			return nil, err
+		}
+		out[name] = dec
+	}
+	return out, nil
+}
+
+func (r *Repo) pasPath() string { return filepath.Join(r.root, dlvDir, pasDir) }
+
+// openArchive returns the PAS store if the repo has been archived.
+func (r *Repo) openArchive() (*pas.Store, error) {
+	return pas.Open(r.pasPath())
+}
+
+// Weights loads a snapshot's weight matrices. prefix selects the byte-plane
+// resolution (4 = exact); raw (unarchived) snapshots only support prefix 4.
+func (r *Repo) Weights(versionID int64, snap string, prefix int) (map[string]*tensor.Matrix, error) {
+	v, err := r.Version(versionID)
+	if err != nil {
+		return nil, err
+	}
+	if v.Archived {
+		store, err := r.openArchive()
+		if err != nil {
+			return nil, err
+		}
+		return store.GetSnapshot(pasSnapID(versionID, snap), prefix, pas.Independent)
+	}
+	if prefix != 4 {
+		return nil, fmt.Errorf("%w: version %d is not archived; only full-precision weights available", ErrRepo, versionID)
+	}
+	return r.readRawSnapshot(versionID, snap)
+}
+
+// WeightIntervals returns lo/hi bounds of one layer's weights at a given
+// byte-plane prefix, serving progressive evaluation over archived models.
+func (r *Repo) WeightIntervals(versionID int64, snap, layer string, prefix int) (lo, hi *tensor.Matrix, err error) {
+	store, err := r.openArchive()
+	if err != nil {
+		return nil, nil, err
+	}
+	return store.GetIntervals(pas.MatrixRef{Snapshot: pasSnapID(versionID, snap), Name: layer}, prefix)
+}

@@ -1,0 +1,420 @@
+package dnn
+
+import (
+	"fmt"
+	"math"
+
+	"modelhub/internal/tensor"
+)
+
+// runtimeLayer is a built, executable layer. Forward caches whatever the
+// subsequent Backward call needs, so a runtime layer is not safe for
+// concurrent use; clone the Network per goroutine instead.
+type runtimeLayer interface {
+	Spec() LayerSpec
+	InShape() Shape
+	OutShape() Shape
+	Forward(in *Volume) *Volume
+	Backward(dOut *Volume) *Volume
+	// Weights returns the learnable parameter matrix (bias folded in as the
+	// last column) or nil for non-parametric layers.
+	Weights() *tensor.Matrix
+	// Grad returns the accumulated weight gradient, or nil.
+	Grad() *tensor.Matrix
+}
+
+// buildLayer constructs the runtime layer for a spec at a given input shape.
+func buildLayer(spec LayerSpec, in Shape) (runtimeLayer, error) {
+	out, err := spec.OutShape(in)
+	if err != nil {
+		return nil, err
+	}
+	base := layerBase{spec: spec, in: in, out: out}
+	switch spec.Kind {
+	case KindConv:
+		stride := spec.Stride
+		if stride == 0 {
+			stride = 1
+		}
+		rows, cols, err := spec.ParamShape(in)
+		if err != nil {
+			return nil, err
+		}
+		return &convLayer{layerBase: base, stride: stride,
+			w: tensor.NewMatrix(rows, cols), g: tensor.NewMatrix(rows, cols)}, nil
+	case KindPool:
+		stride := spec.Stride
+		if stride == 0 {
+			stride = spec.K
+		}
+		return &poolLayer{layerBase: base, stride: stride}, nil
+	case KindFull:
+		rows, cols, err := spec.ParamShape(in)
+		if err != nil {
+			return nil, err
+		}
+		return &fullLayer{layerBase: base,
+			w: tensor.NewMatrix(rows, cols), g: tensor.NewMatrix(rows, cols)}, nil
+	case KindReLU, KindSigmoid, KindTanh:
+		return &actLayer{layerBase: base}, nil
+	case KindSoftmax:
+		return &softmaxLayer{layerBase: base}, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown kind %q", ErrNetDef, spec.Kind)
+	}
+}
+
+type layerBase struct {
+	spec LayerSpec
+	in   Shape
+	out  Shape
+}
+
+func (b *layerBase) Spec() LayerSpec         { return b.spec }
+func (b *layerBase) InShape() Shape          { return b.in }
+func (b *layerBase) OutShape() Shape         { return b.out }
+func (b *layerBase) Weights() *tensor.Matrix { return nil }
+func (b *layerBase) Grad() *tensor.Matrix    { return nil }
+
+// ---------- convolution ----------
+
+type convLayer struct {
+	layerBase
+	stride int
+	w, g   *tensor.Matrix
+	lastIn *Volume
+}
+
+func (l *convLayer) Weights() *tensor.Matrix { return l.w }
+func (l *convLayer) Grad() *tensor.Matrix    { return l.g }
+
+func (l *convLayer) Forward(in *Volume) *Volume {
+	l.lastIn = in
+	out := NewVolume(l.out)
+	k, pad := l.spec.K, l.spec.Pad
+	biasCol := l.w.Cols() - 1
+	for oc := 0; oc < l.out.C; oc++ {
+		wrow := l.w.Row(oc)
+		for oy := 0; oy < l.out.H; oy++ {
+			for ox := 0; ox < l.out.W; ox++ {
+				sum := wrow[biasCol]
+				for ic := 0; ic < l.in.C; ic++ {
+					for ky := 0; ky < k; ky++ {
+						iy := oy*l.stride + ky - pad
+						if iy < 0 || iy >= l.in.H {
+							continue
+						}
+						for kx := 0; kx < k; kx++ {
+							ix := ox*l.stride + kx - pad
+							if ix < 0 || ix >= l.in.W {
+								continue
+							}
+							sum += wrow[(ic*k+ky)*k+kx] * in.At(ic, iy, ix)
+						}
+					}
+				}
+				out.Set(oc, oy, ox, sum)
+			}
+		}
+	}
+	return out
+}
+
+func (l *convLayer) Backward(dOut *Volume) *Volume {
+	in := l.lastIn
+	dIn := NewVolume(l.in)
+	k, pad := l.spec.K, l.spec.Pad
+	biasCol := l.w.Cols() - 1
+	for oc := 0; oc < l.out.C; oc++ {
+		wrow := l.w.Row(oc)
+		grow := l.g.Row(oc)
+		for oy := 0; oy < l.out.H; oy++ {
+			for ox := 0; ox < l.out.W; ox++ {
+				d := dOut.At(oc, oy, ox)
+				if d == 0 {
+					continue
+				}
+				grow[biasCol] += d
+				for ic := 0; ic < l.in.C; ic++ {
+					for ky := 0; ky < k; ky++ {
+						iy := oy*l.stride + ky - pad
+						if iy < 0 || iy >= l.in.H {
+							continue
+						}
+						for kx := 0; kx < k; kx++ {
+							ix := ox*l.stride + kx - pad
+							if ix < 0 || ix >= l.in.W {
+								continue
+							}
+							idx := (ic*k+ky)*k + kx
+							grow[idx] += d * in.At(ic, iy, ix)
+							dIn.Data[(ic*l.in.H+iy)*l.in.W+ix] += d * wrow[idx]
+						}
+					}
+				}
+			}
+		}
+	}
+	return dIn
+}
+
+// ---------- pooling ----------
+
+type poolLayer struct {
+	layerBase
+	stride int
+	argmax []int // for MAX: input index chosen per output element
+	lastIn *Volume
+}
+
+func (l *poolLayer) Forward(in *Volume) *Volume {
+	l.lastIn = in
+	out := NewVolume(l.out)
+	k := l.spec.K
+	isMax := l.spec.Mode == PoolMax
+	if isMax {
+		l.argmax = make([]int, l.out.Size())
+	}
+	oi := 0
+	for c := 0; c < l.out.C; c++ {
+		for oy := 0; oy < l.out.H; oy++ {
+			for ox := 0; ox < l.out.W; ox++ {
+				if isMax {
+					best := float32(math.Inf(-1))
+					bestIdx := -1
+					for ky := 0; ky < k; ky++ {
+						iy := oy*l.stride + ky
+						if iy >= l.in.H {
+							continue
+						}
+						for kx := 0; kx < k; kx++ {
+							ix := ox*l.stride + kx
+							if ix >= l.in.W {
+								continue
+							}
+							idx := (c*l.in.H+iy)*l.in.W + ix
+							if v := in.Data[idx]; v > best {
+								best, bestIdx = v, idx
+							}
+						}
+					}
+					out.Data[oi] = best
+					l.argmax[oi] = bestIdx
+				} else {
+					var sum float32
+					n := 0
+					for ky := 0; ky < k; ky++ {
+						iy := oy*l.stride + ky
+						if iy >= l.in.H {
+							continue
+						}
+						for kx := 0; kx < k; kx++ {
+							ix := ox*l.stride + kx
+							if ix >= l.in.W {
+								continue
+							}
+							sum += in.At(c, iy, ix)
+							n++
+						}
+					}
+					out.Data[oi] = sum / float32(n)
+				}
+				oi++
+			}
+		}
+	}
+	return out
+}
+
+func (l *poolLayer) Backward(dOut *Volume) *Volume {
+	dIn := NewVolume(l.in)
+	k := l.spec.K
+	if l.spec.Mode == PoolMax {
+		for oi, idx := range l.argmax {
+			if idx >= 0 {
+				dIn.Data[idx] += dOut.Data[oi]
+			}
+		}
+		return dIn
+	}
+	oi := 0
+	for c := 0; c < l.out.C; c++ {
+		for oy := 0; oy < l.out.H; oy++ {
+			for ox := 0; ox < l.out.W; ox++ {
+				// Count window size (borders may be smaller).
+				n := 0
+				for ky := 0; ky < k; ky++ {
+					if oy*l.stride+ky < l.in.H {
+						for kx := 0; kx < k; kx++ {
+							if ox*l.stride+kx < l.in.W {
+								n++
+							}
+						}
+					}
+				}
+				share := dOut.Data[oi] / float32(n)
+				for ky := 0; ky < k; ky++ {
+					iy := oy*l.stride + ky
+					if iy >= l.in.H {
+						continue
+					}
+					for kx := 0; kx < k; kx++ {
+						ix := ox*l.stride + kx
+						if ix >= l.in.W {
+							continue
+						}
+						dIn.Data[(c*l.in.H+iy)*l.in.W+ix] += share
+					}
+				}
+				oi++
+			}
+		}
+	}
+	return dIn
+}
+
+// ---------- fully connected ----------
+
+type fullLayer struct {
+	layerBase
+	w, g   *tensor.Matrix
+	lastIn *Volume
+}
+
+func (l *fullLayer) Weights() *tensor.Matrix { return l.w }
+func (l *fullLayer) Grad() *tensor.Matrix    { return l.g }
+
+func (l *fullLayer) Forward(in *Volume) *Volume {
+	l.lastIn = in
+	out := NewVolume(l.out)
+	biasCol := l.w.Cols() - 1
+	for o := 0; o < l.out.C; o++ {
+		row := l.w.Row(o)
+		sum := row[biasCol]
+		for i, x := range in.Data {
+			sum += row[i] * x
+		}
+		out.Data[o] = sum
+	}
+	return out
+}
+
+func (l *fullLayer) Backward(dOut *Volume) *Volume {
+	in := l.lastIn
+	dIn := NewVolume(l.in)
+	biasCol := l.w.Cols() - 1
+	for o := 0; o < l.out.C; o++ {
+		d := dOut.Data[o]
+		if d == 0 {
+			continue
+		}
+		row := l.w.Row(o)
+		grow := l.g.Row(o)
+		grow[biasCol] += d
+		for i, x := range in.Data {
+			grow[i] += d * x
+			dIn.Data[i] += d * row[i]
+		}
+	}
+	return dIn
+}
+
+// ---------- activations ----------
+
+type actLayer struct {
+	layerBase
+	lastOut *Volume
+}
+
+func (l *actLayer) Forward(in *Volume) *Volume {
+	out := NewVolume(l.out)
+	switch l.spec.Kind {
+	case KindReLU:
+		for i, v := range in.Data {
+			if v > 0 {
+				out.Data[i] = v
+			}
+		}
+	case KindSigmoid:
+		for i, v := range in.Data {
+			out.Data[i] = float32(1 / (1 + math.Exp(-float64(v))))
+		}
+	case KindTanh:
+		for i, v := range in.Data {
+			out.Data[i] = float32(math.Tanh(float64(v)))
+		}
+	}
+	l.lastOut = out
+	return out
+}
+
+func (l *actLayer) Backward(dOut *Volume) *Volume {
+	dIn := NewVolume(l.in)
+	out := l.lastOut
+	switch l.spec.Kind {
+	case KindReLU:
+		for i, v := range out.Data {
+			if v > 0 {
+				dIn.Data[i] = dOut.Data[i]
+			}
+		}
+	case KindSigmoid:
+		for i, v := range out.Data {
+			dIn.Data[i] = dOut.Data[i] * v * (1 - v)
+		}
+	case KindTanh:
+		for i, v := range out.Data {
+			dIn.Data[i] = dOut.Data[i] * (1 - v*v)
+		}
+	}
+	return dIn
+}
+
+// ---------- softmax ----------
+
+type softmaxLayer struct {
+	layerBase
+	lastOut *Volume
+}
+
+// Softmax computes the softmax of logits into a new slice, with the usual
+// max-subtraction for numerical stability.
+func Softmax(logits []float32) []float32 {
+	out := make([]float32, len(logits))
+	mx := float32(math.Inf(-1))
+	for _, v := range logits {
+		if v > mx {
+			mx = v
+		}
+	}
+	var sum float64
+	for i, v := range logits {
+		e := math.Exp(float64(v - mx))
+		out[i] = float32(e)
+		sum += e
+	}
+	for i := range out {
+		out[i] = float32(float64(out[i]) / sum)
+	}
+	return out
+}
+
+func (l *softmaxLayer) Forward(in *Volume) *Volume {
+	out := &Volume{Shape: l.out, Data: Softmax(in.Data)}
+	l.lastOut = out
+	return out
+}
+
+func (l *softmaxLayer) Backward(dOut *Volume) *Volume {
+	// dIn_i = s_i * (dOut_i - sum_j dOut_j * s_j)
+	s := l.lastOut.Data
+	var dot float64
+	for j, d := range dOut.Data {
+		dot += float64(d) * float64(s[j])
+	}
+	dIn := NewVolume(l.in)
+	for i := range dIn.Data {
+		dIn.Data[i] = s[i] * (dOut.Data[i] - float32(dot))
+	}
+	return dIn
+}

@@ -1,0 +1,261 @@
+// Package dnn is the deep-learning substrate of ModelHub: a small, pure-Go
+// neural network engine that trains and evaluates the convolutional networks
+// the paper's experiments need (Sec. II). It deliberately separates the
+// *architecture definition* (NetDef — a named DAG of layer specs, the thing
+// DLV versions and DQL queries and mutates) from the *runtime network*
+// (Network — the thing that runs forward/backward passes).
+package dnn
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// Layer kind names. These mirror the conventional layer vocabulary the
+// paper uses (Fig. 2, Table I).
+const (
+	KindConv    = "conv"
+	KindPool    = "pool"
+	KindFull    = "full"
+	KindReLU    = "relu"
+	KindSigmoid = "sigmoid"
+	KindTanh    = "tanh"
+	KindSoftmax = "softmax"
+	// KindAdd sums the outputs of all its predecessors elementwise (the
+	// residual/skip connection merge); all inputs must share one shape.
+	KindAdd = "add"
+	// KindConcat concatenates predecessor outputs along the channel axis;
+	// spatial extents must match.
+	KindConcat = "concat"
+)
+
+// Pool modes.
+const (
+	PoolMax = "MAX"
+	PoolAvg = "AVG"
+)
+
+// LayerSpec describes one layer: its unique name, kind, and hyperparameters
+// H (paper Sec. II: a layer is (W, H, X) -> Y). Learnable parameters W are
+// not part of the spec; they live in snapshots.
+type LayerSpec struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+	// Out is the number of output channels (conv) or units (full).
+	Out int `json:"out,omitempty"`
+	// K, Stride, Pad configure conv and pool windows.
+	K      int `json:"k,omitempty"`
+	Stride int `json:"stride,omitempty"`
+	Pad    int `json:"pad,omitempty"`
+	// Mode selects the pool operator (PoolMax or PoolAvg).
+	Mode string `json:"mode,omitempty"`
+}
+
+// Parametric reports whether the layer has learnable weights.
+func (l LayerSpec) Parametric() bool { return l.Kind == KindConv || l.Kind == KindFull }
+
+// Edge is a directed connection between two named layers.
+type Edge struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+}
+
+// NetDef is a DNN architecture: an input shape plus a DAG of layer specs.
+// The runtime engine additionally requires the DAG to be a simple chain
+// (every node has at most one predecessor and successor), which covers the
+// architectures in the paper's Table I.
+type NetDef struct {
+	Name   string      `json:"name"`
+	InC    int         `json:"in_c"`
+	InH    int         `json:"in_h"`
+	InW    int         `json:"in_w"`
+	Nodes  []LayerSpec `json:"nodes"`
+	Edges  []Edge      `json:"edges"`
+	Labels int         `json:"labels"` // size of the prediction label domain
+}
+
+// ErrNetDef reports an invalid network definition.
+var ErrNetDef = errors.New("dnn: invalid network definition")
+
+// Node returns the spec with the given name, or nil.
+func (n *NetDef) Node(name string) *LayerSpec {
+	for i := range n.Nodes {
+		if n.Nodes[i].Name == name {
+			return &n.Nodes[i]
+		}
+	}
+	return nil
+}
+
+// Validate checks structural well-formedness: unique names, known kinds,
+// edges referencing existing nodes, and acyclicity.
+func (n *NetDef) Validate() error {
+	if n.InC <= 0 || n.InH <= 0 || n.InW <= 0 {
+		return fmt.Errorf("%w: input shape %dx%dx%d", ErrNetDef, n.InC, n.InH, n.InW)
+	}
+	if len(n.Nodes) == 0 {
+		return fmt.Errorf("%w: no layers", ErrNetDef)
+	}
+	seen := make(map[string]bool, len(n.Nodes))
+	for _, l := range n.Nodes {
+		if l.Name == "" {
+			return fmt.Errorf("%w: unnamed layer", ErrNetDef)
+		}
+		if seen[l.Name] {
+			return fmt.Errorf("%w: duplicate layer name %q", ErrNetDef, l.Name)
+		}
+		seen[l.Name] = true
+		switch l.Kind {
+		case KindConv:
+			if l.Out <= 0 || l.K <= 0 {
+				return fmt.Errorf("%w: conv %q needs out>0 and k>0", ErrNetDef, l.Name)
+			}
+		case KindPool:
+			if l.K <= 0 || (l.Mode != PoolMax && l.Mode != PoolAvg) {
+				return fmt.Errorf("%w: pool %q needs k>0 and mode MAX|AVG", ErrNetDef, l.Name)
+			}
+		case KindFull:
+			if l.Out <= 0 {
+				return fmt.Errorf("%w: full %q needs out>0", ErrNetDef, l.Name)
+			}
+		case KindReLU, KindSigmoid, KindTanh, KindSoftmax, KindAdd, KindConcat:
+		default:
+			return fmt.Errorf("%w: unknown layer kind %q", ErrNetDef, l.Kind)
+		}
+	}
+	for _, e := range n.Edges {
+		if !seen[e.From] || !seen[e.To] {
+			return fmt.Errorf("%w: edge %s->%s references unknown node", ErrNetDef, e.From, e.To)
+		}
+		if e.From == e.To {
+			return fmt.Errorf("%w: self edge on %s", ErrNetDef, e.From)
+		}
+	}
+	if _, err := n.TopoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// TopoOrder returns the node names in topological order, or an error if the
+// edge set contains a cycle.
+func (n *NetDef) TopoOrder() ([]string, error) {
+	indeg := make(map[string]int, len(n.Nodes))
+	adj := make(map[string][]string, len(n.Nodes))
+	for _, l := range n.Nodes {
+		indeg[l.Name] = 0
+	}
+	for _, e := range n.Edges {
+		adj[e.From] = append(adj[e.From], e.To)
+		indeg[e.To]++
+	}
+	// Deterministic Kahn: seed the queue in declaration order.
+	var queue []string
+	for _, l := range n.Nodes {
+		if indeg[l.Name] == 0 {
+			queue = append(queue, l.Name)
+		}
+	}
+	var order []string
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, w := range adj[v] {
+			indeg[w]--
+			if indeg[w] == 0 {
+				queue = append(queue, w)
+			}
+		}
+	}
+	if len(order) != len(n.Nodes) {
+		return nil, fmt.Errorf("%w: cycle in layer DAG", ErrNetDef)
+	}
+	return order, nil
+}
+
+// Chain returns the layer specs in execution order, verifying that the DAG
+// is a simple chain. Chain-shaped models cover the paper's Table I; general
+// DAGs (with add/concat merge nodes) are executed by the DAG path in Build.
+func (n *NetDef) Chain() ([]LayerSpec, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]int)
+	in := make(map[string]int)
+	for _, e := range n.Edges {
+		out[e.From]++
+		in[e.To]++
+	}
+	for _, l := range n.Nodes {
+		if out[l.Name] > 1 || in[l.Name] > 1 {
+			return nil, fmt.Errorf("%w: node %q is a branch point; use the DAG executor", ErrNetDef, l.Name)
+		}
+	}
+	order, err := n.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	specs := make([]LayerSpec, 0, len(order))
+	for _, name := range order {
+		specs = append(specs, *n.Node(name))
+	}
+	return specs, nil
+}
+
+// Next returns the names of the direct successors of node name.
+func (n *NetDef) Next(name string) []string {
+	var out []string
+	for _, e := range n.Edges {
+		if e.From == name {
+			out = append(out, e.To)
+		}
+	}
+	return out
+}
+
+// Prev returns the names of the direct predecessors of node name.
+func (n *NetDef) Prev(name string) []string {
+	var out []string
+	for _, e := range n.Edges {
+		if e.To == name {
+			out = append(out, e.From)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the definition.
+func (n *NetDef) Clone() *NetDef {
+	c := *n
+	c.Nodes = append([]LayerSpec(nil), n.Nodes...)
+	c.Edges = append([]Edge(nil), n.Edges...)
+	return &c
+}
+
+// MarshalJSON/Unmarshal round-trips are provided by the struct tags; ToJSON
+// and FromJSON are convenience wrappers used by the catalog and DLV.
+func (n *NetDef) ToJSON() ([]byte, error) { return json.MarshalIndent(n, "", "  ") }
+
+// NetDefFromJSON parses a NetDef and validates it.
+func NetDefFromJSON(data []byte) (*NetDef, error) {
+	var n NetDef
+	if err := json.Unmarshal(data, &n); err != nil {
+		return nil, fmt.Errorf("dnn: parsing NetDef: %w", err)
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return &n, nil
+}
+
+// ChainDef builds a NetDef whose edges connect the given nodes in order; a
+// convenience constructor used by the zoo and tests.
+func ChainDef(name string, inC, inH, inW, labels int, nodes ...LayerSpec) *NetDef {
+	def := &NetDef{Name: name, InC: inC, InH: inH, InW: inW, Labels: labels, Nodes: nodes}
+	for i := 0; i+1 < len(nodes); i++ {
+		def.Edges = append(def.Edges, Edge{From: nodes[i].Name, To: nodes[i+1].Name})
+	}
+	return def
+}

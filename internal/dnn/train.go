@@ -1,0 +1,201 @@
+package dnn
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"modelhub/internal/tensor"
+)
+
+// Example is one labelled training or test instance.
+type Example struct {
+	Input *Volume
+	Label int
+}
+
+// LogEntry is one measurement row in a training log — the provenance
+// metadata DLV extracts into the catalog (paper Sec. III-A: loss and
+// accuracy measures at some iterations, dynamic optimizer state).
+type LogEntry struct {
+	Iter     int
+	Loss     float64
+	Accuracy float64
+	LR       float64
+}
+
+// Checkpoint is one snapshot taken during training (paper Fig. 4).
+type Checkpoint struct {
+	Iter    int
+	Weights map[string]*tensor.Matrix
+}
+
+// TrainResult aggregates the artifacts of one training run.
+type TrainResult struct {
+	Log         []LogEntry
+	Checkpoints []Checkpoint
+	Final       map[string]*tensor.Matrix
+}
+
+// TrainConfig drives Train. Zero values get sensible defaults.
+type TrainConfig struct {
+	Epochs          int
+	BatchSize       int
+	LR              float64
+	Momentum        float64
+	WeightDecay     float64
+	CheckpointEvery int // iterations between checkpoints; 0 disables
+	LogEvery        int // iterations between log entries; 0 = every 10
+	MaxIters        int // stop after this many minibatch steps; 0 = no cap
+	// LayerLR overrides the learning rate per layer name (see SGD.LayerLR).
+	LayerLR map[string]float64
+	Seed    int64
+}
+
+func (c TrainConfig) withDefaults() TrainConfig {
+	if c.Epochs == 0 {
+		c.Epochs = 1
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 8
+	}
+	if c.LR == 0 {
+		c.LR = 0.05
+	}
+	if c.LogEvery == 0 {
+		c.LogEvery = 10
+	}
+	return c
+}
+
+// Train runs minibatch SGD over the examples and returns the training log,
+// checkpoints, and final weights. The same seed always yields the same run.
+func Train(n *Network, examples []Example, cfg TrainConfig) (*TrainResult, error) {
+	cfg = cfg.withDefaults()
+	if len(examples) == 0 {
+		return nil, fmt.Errorf("dnn: no training examples")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	opt := &SGD{LR: cfg.LR, Momentum: cfg.Momentum, WeightDecay: cfg.WeightDecay, LayerLR: cfg.LayerLR}
+	res := &TrainResult{}
+	order := make([]int, len(examples))
+	for i := range order {
+		order[i] = i
+	}
+	iter := 0
+	var runLoss float64
+	var runCorrect, runSeen int
+	if cfg.MaxIters > 0 {
+		// Enough epochs to reach the iteration budget.
+		itersPerEpoch := (len(examples) + cfg.BatchSize - 1) / cfg.BatchSize
+		need := (cfg.MaxIters + itersPerEpoch - 1) / itersPerEpoch
+		if need > cfg.Epochs {
+			cfg.Epochs = need
+		}
+	}
+epochs:
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for start := 0; start < len(order); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			n.ZeroGrads()
+			for _, idx := range order[start:end] {
+				ex := examples[idx]
+				loss, correct := n.LossAndBackward(ex.Input, ex.Label)
+				runLoss += loss
+				runSeen++
+				if correct {
+					runCorrect++
+				}
+			}
+			opt.Step(n, end-start)
+			iter++
+			if iter%cfg.LogEvery == 0 {
+				res.Log = append(res.Log, LogEntry{
+					Iter:     iter,
+					Loss:     runLoss / float64(runSeen),
+					Accuracy: float64(runCorrect) / float64(runSeen),
+					LR:       cfg.LR,
+				})
+				runLoss, runCorrect, runSeen = 0, 0, 0
+			}
+			if cfg.CheckpointEvery > 0 && iter%cfg.CheckpointEvery == 0 {
+				res.Checkpoints = append(res.Checkpoints, Checkpoint{Iter: iter, Weights: n.Snapshot()})
+			}
+			if cfg.MaxIters > 0 && iter >= cfg.MaxIters {
+				break epochs
+			}
+		}
+	}
+	res.Final = n.Snapshot()
+	return res, nil
+}
+
+// Evaluate returns the classification accuracy of n over the examples.
+func Evaluate(n *Network, examples []Example) float64 {
+	if len(examples) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, ex := range examples {
+		if n.Predict(ex.Input) == ex.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(examples))
+}
+
+// EvaluateParallel computes classification accuracy using `workers` network
+// clones evaluating disjoint shards concurrently. It matches Evaluate
+// exactly (prediction is deterministic per example).
+func EvaluateParallel(n *Network, examples []Example, workers int) (float64, error) {
+	if len(examples) == 0 {
+		return 0, nil
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(examples) {
+		workers = len(examples)
+	}
+	correct := make([]int, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	per := (len(examples) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		start := w * per
+		end := start + per
+		if end > len(examples) {
+			end = len(examples)
+		}
+		if start >= end {
+			continue
+		}
+		wg.Add(1)
+		go func(w, start, end int) {
+			defer wg.Done()
+			clone, err := n.Clone()
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			for _, ex := range examples[start:end] {
+				if clone.Predict(ex.Input) == ex.Label {
+					correct[w]++
+				}
+			}
+		}(w, start, end)
+	}
+	wg.Wait()
+	total := 0
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			return 0, errs[w]
+		}
+		total += correct[w]
+	}
+	return float64(total) / float64(len(examples)), nil
+}

@@ -1,0 +1,123 @@
+package dql
+
+import "fmt"
+
+// Stmt is a parsed DQL statement.
+type Stmt interface{ stmt() }
+
+// SelectStmt is Query 1: pick model versions from the repository.
+type SelectStmt struct {
+	Var   string
+	Where []Cond
+}
+
+// SliceStmt is Query 2: cut a reusable sub-network out of matching models.
+type SliceStmt struct {
+	NewVar string
+	SrcVar string
+	Where  []Cond
+	// Input/Output are selector expressions naming the slice boundary.
+	Input, Output string
+}
+
+// ConstructStmt is Query 3: derive new models by mutating matching models.
+type ConstructStmt struct {
+	NewVar    string
+	SrcVar    string
+	Where     []Cond
+	Mutations []Mutation
+}
+
+// Mutation is one insert/delete action on selector-matched nodes.
+type Mutation struct {
+	Selector string
+	// Action is "insert" or "delete".
+	Action string
+	// Template is the node template to insert (or to match for delete).
+	Template NodeTemplate
+}
+
+// EvaluateStmt is Query 4: try models under hyperparameter combinations and
+// keep the good ones.
+type EvaluateStmt struct {
+	Var string
+	// FromQuery is a nested statement producing candidate models, or nil
+	// when FromName references a registered named query.
+	FromQuery Stmt
+	FromName  string
+	// ConfigJSON is the body (or registered name) of the tuning config
+	// template given by `with config = ...`.
+	ConfigJSON string
+	Vary       []VaryClause
+	Keep       KeepClause
+}
+
+// VaryClause is one dimension of the hyperparameter grid.
+type VaryClause struct {
+	// Key is the config field, e.g. "base_lr" or "input_data"; the
+	// per-layer form `config.net["sel"].lr` uses Key "net.lr" with
+	// Selector set (paper Query 4).
+	Key string
+	// Selector targets layers for per-layer dimensions.
+	Selector string
+	// Values holds the explicit grid (`in [...]`); empty with Auto set
+	// means use the engine's default grid for the key.
+	Values []Value
+	Auto   bool
+}
+
+// KeepClause bounds the exploration (early stopping of bad models).
+type KeepClause struct {
+	// Kind is "top" (keep k best) or "above" (keep those above threshold).
+	Kind string
+	// K is top-k count; Threshold for "above".
+	K         int
+	Threshold float64
+	// Metric is "loss" or "acc".
+	Metric string
+	// Iters is the training iteration budget per candidate.
+	Iters int
+}
+
+// Value is a string or number literal.
+type Value struct {
+	Str   string
+	Num   float64
+	IsNum bool
+}
+
+func (v Value) String() string {
+	if v.IsNum {
+		return fmt.Sprintf("%g", v.Num)
+	}
+	return v.Str
+}
+
+// Cond is one conjunct of a where clause: either an attribute comparison or
+// a graph-traversal predicate.
+type Cond struct {
+	// Attr form: <var>.<attr> <op> <value>; Op one of = != < <= > >= like.
+	Attr  string
+	Op    string
+	Value Value
+	// Graph form: <var>["sel"].next|prev has TEMPLATE, set when Selector
+	// is non-empty.
+	Selector string
+	// Direction is "next" or "prev".
+	Direction string
+	Negated   bool
+	Template  NodeTemplate
+}
+
+// NodeTemplate is a layer pattern like POOL("MAX") or RELU("relu$1"): a
+// layer kind plus one optional argument (pool mode, or the name for
+// inserted nodes, possibly with $N capture substitutions).
+type NodeTemplate struct {
+	Kind string // conv, pool, full, relu, sigmoid, tanh, softmax
+	Arg  string
+}
+
+func (SelectStmt) stmt()    {}
+func (SliceStmt) stmt()     {}
+func (ConstructStmt) stmt() {}
+func (EvaluateStmt) stmt()  {}

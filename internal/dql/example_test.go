@@ -1,0 +1,32 @@
+package dql_test
+
+import (
+	"fmt"
+
+	"modelhub/internal/dql"
+)
+
+// Parsing the paper's Query 1: relational predicates mixed with graph
+// traversal over the network DAG.
+func ExampleParse() {
+	stmt, err := dql.Parse(`select m1
+		where m1.name like "alexnet_%" and
+		      m1["conv[1,3,5]"].next has POOL("MAX")`)
+	if err != nil {
+		panic(err)
+	}
+	s := stmt.(*dql.SelectStmt)
+	fmt.Println(s.Var, len(s.Where), s.Where[1].Selector, s.Where[1].Template.Kind)
+	// Output: m1 2 conv[1,3,5] pool
+}
+
+// Selectors are glob-like with capture groups usable in templates.
+func ExampleCompileSelector() {
+	sel, err := dql.CompileSelector("conv*($1)")
+	if err != nil {
+		panic(err)
+	}
+	ok, caps := sel.Match("conv2_1")
+	fmt.Println(ok, dql.SubstituteCaptures("relu$1", caps))
+	// Output: true relu2_1
+}

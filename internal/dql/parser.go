@@ -1,0 +1,550 @@
+package dql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses one DQL statement.
+func Parse(input string) (Stmt, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, p.errf("trailing input %s", p.peek())
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+func (p *parser) at(kind tokKind, text string) bool {
+	t := p.peek()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	if p.at(kind, text) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokKind, text string) (token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	return token{}, p.errf("expected %q, got %s", text, p.peek())
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &SyntaxError{Pos: p.peek().pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	switch {
+	case p.accept(tokKeyword, "select"):
+		return p.parseSelect()
+	case p.accept(tokKeyword, "slice"):
+		return p.parseSlice()
+	case p.accept(tokKeyword, "construct"):
+		return p.parseConstruct()
+	case p.accept(tokKeyword, "evaluate"):
+		return p.parseEvaluate()
+	default:
+		return nil, p.errf("expected select/slice/construct/evaluate, got %s", p.peek())
+	}
+}
+
+func (p *parser) parseSelect() (Stmt, error) {
+	v, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	s := &SelectStmt{Var: v.text}
+	if p.accept(tokKeyword, "where") {
+		s.Where, err = p.parseConds(v.text)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func (p *parser) parseSlice() (Stmt, error) {
+	nv, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "from"); err != nil {
+		return nil, err
+	}
+	sv, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	s := &SliceStmt{NewVar: nv.text, SrcVar: sv.text}
+	if p.accept(tokKeyword, "where") {
+		s.Where, err = p.parseConds(sv.text)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokKeyword, "mutate"); err != nil {
+		return nil, err
+	}
+	// m2.input = m1["sel"] and m2.output = m1["sel"]
+	for {
+		if _, err := p.expect(tokIdent, nv.text); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "."); err != nil {
+			return nil, err
+		}
+		var field string
+		switch {
+		case p.accept(tokKeyword, "input"):
+			field = "input"
+		case p.accept(tokKeyword, "output"):
+			field = "output"
+		default:
+			return nil, p.errf("expected input or output, got %s", p.peek())
+		}
+		if _, err := p.expect(tokOp, "="); err != nil {
+			return nil, err
+		}
+		sel, err := p.parseSelector(sv.text)
+		if err != nil {
+			return nil, err
+		}
+		if field == "input" {
+			s.Input = sel
+		} else {
+			s.Output = sel
+		}
+		if !p.accept(tokKeyword, "and") {
+			break
+		}
+	}
+	if s.Input == "" || s.Output == "" {
+		return nil, p.errf("slice needs both input and output boundaries")
+	}
+	return s, nil
+}
+
+func (p *parser) parseConstruct() (Stmt, error) {
+	nv, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "from"); err != nil {
+		return nil, err
+	}
+	sv, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	s := &ConstructStmt{NewVar: nv.text, SrcVar: sv.text}
+	if p.accept(tokKeyword, "where") {
+		s.Where, err = p.parseConds(sv.text)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokKeyword, "mutate"); err != nil {
+		return nil, err
+	}
+	for {
+		// <srcvar>["sel"].insert|delete = TEMPLATE
+		sel, err := p.parseSelector(sv.text)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "."); err != nil {
+			return nil, err
+		}
+		var action string
+		switch {
+		case p.accept(tokKeyword, "insert"):
+			action = "insert"
+		case p.accept(tokKeyword, "delete"):
+			action = "delete"
+		default:
+			return nil, p.errf("expected insert or delete, got %s", p.peek())
+		}
+		if _, err := p.expect(tokOp, "="); err != nil {
+			return nil, err
+		}
+		tmpl, err := p.parseTemplate()
+		if err != nil {
+			return nil, err
+		}
+		s.Mutations = append(s.Mutations, Mutation{Selector: sel, Action: action, Template: tmpl})
+		if !p.accept(tokKeyword, "and") {
+			break
+		}
+	}
+	return s, nil
+}
+
+func (p *parser) parseEvaluate() (Stmt, error) {
+	v, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	s := &EvaluateStmt{Var: v.text}
+	if _, err := p.expect(tokKeyword, "from"); err != nil {
+		return nil, err
+	}
+	switch {
+	case p.at(tokString, ""):
+		s.FromName = p.next().text
+	case p.accept(tokPunct, "("):
+		nested, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		s.FromQuery = nested
+	default:
+		return nil, p.errf("evaluate from expects a query name or (query)")
+	}
+	if p.accept(tokKeyword, "with") {
+		if _, err := p.expect(tokKeyword, "config"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokOp, "="); err != nil {
+			return nil, err
+		}
+		cfg, err := p.expect(tokString, "")
+		if err != nil {
+			return nil, err
+		}
+		s.ConfigJSON = cfg.text
+	}
+	if p.accept(tokKeyword, "vary") {
+		for {
+			vc, err := p.parseVary()
+			if err != nil {
+				return nil, err
+			}
+			s.Vary = append(s.Vary, vc)
+			if !p.accept(tokKeyword, "and") {
+				break
+			}
+		}
+	}
+	if p.accept(tokKeyword, "keep") {
+		keep, err := p.parseKeep(v.text)
+		if err != nil {
+			return nil, err
+		}
+		s.Keep = keep
+	} else {
+		return nil, p.errf("evaluate requires a keep clause")
+	}
+	return s, nil
+}
+
+// parseVary parses `config.<key> in [v, ...]` or `config.<key> auto`.
+func (p *parser) parseVary() (VaryClause, error) {
+	var vc VaryClause
+	if _, err := p.expect(tokKeyword, "config"); err != nil {
+		return vc, err
+	}
+	if _, err := p.expect(tokPunct, "."); err != nil {
+		return vc, err
+	}
+	key, err := p.expect(tokIdent, "")
+	if err != nil {
+		return vc, err
+	}
+	vc.Key = key.text
+	if key.text == "net" {
+		// Per-layer dimension: config.net["sel"].lr (paper Query 4).
+		sel, err := p.parseSelectorBody()
+		if err != nil {
+			return vc, err
+		}
+		if _, err := p.expect(tokPunct, "."); err != nil {
+			return vc, err
+		}
+		field, err := p.expect(tokIdent, "")
+		if err != nil {
+			return vc, err
+		}
+		if field.text != "lr" {
+			return vc, p.errf("per-layer vary supports only .lr, got %q", field.text)
+		}
+		vc.Key = "net.lr"
+		vc.Selector = sel
+	}
+	switch {
+	case p.accept(tokKeyword, "auto"):
+		vc.Auto = true
+		return vc, nil
+	case p.accept(tokKeyword, "in"):
+		if _, err := p.expect(tokPunct, "["); err != nil {
+			return vc, err
+		}
+		for {
+			val, err := p.parseValue()
+			if err != nil {
+				return vc, err
+			}
+			vc.Values = append(vc.Values, val)
+			if p.accept(tokPunct, ",") {
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokPunct, "]"); err != nil {
+			return vc, err
+		}
+		return vc, nil
+	default:
+		return vc, p.errf("vary expects `in [...]` or `auto`")
+	}
+}
+
+// parseKeep parses `top(k, m["metric"], iters)` or
+// `above(threshold, m["metric"], iters)`.
+func (p *parser) parseKeep(varName string) (KeepClause, error) {
+	var k KeepClause
+	switch {
+	case p.accept(tokKeyword, "top"):
+		k.Kind = "top"
+	case p.accept(tokKeyword, "above"):
+		k.Kind = "above"
+	default:
+		return k, p.errf("keep expects top(...) or above(...)")
+	}
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return k, err
+	}
+	num, err := p.expect(tokNumber, "")
+	if err != nil {
+		return k, err
+	}
+	f, err := strconv.ParseFloat(num.text, 64)
+	if err != nil {
+		return k, p.errf("bad number %q", num.text)
+	}
+	if k.Kind == "top" {
+		k.K = int(f)
+	} else {
+		k.Threshold = f
+	}
+	if _, err := p.expect(tokPunct, ","); err != nil {
+		return k, err
+	}
+	if _, err := p.expect(tokIdent, varName); err != nil {
+		return k, err
+	}
+	if _, err := p.expect(tokPunct, "["); err != nil {
+		return k, err
+	}
+	metric, err := p.expect(tokString, "")
+	if err != nil {
+		return k, err
+	}
+	if metric.text != "loss" && metric.text != "acc" {
+		return k, p.errf("keep metric must be \"loss\" or \"acc\"")
+	}
+	k.Metric = metric.text
+	if _, err := p.expect(tokPunct, "]"); err != nil {
+		return k, err
+	}
+	if _, err := p.expect(tokPunct, ","); err != nil {
+		return k, err
+	}
+	iters, err := p.expect(tokNumber, "")
+	if err != nil {
+		return k, err
+	}
+	it, err := strconv.Atoi(iters.text)
+	if err != nil || it <= 0 {
+		return k, p.errf("bad iteration budget %q", iters.text)
+	}
+	k.Iters = it
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return k, err
+	}
+	return k, nil
+}
+
+// parseConds parses a conjunction of where-clause conditions for varName.
+func (p *parser) parseConds(varName string) ([]Cond, error) {
+	var out []Cond
+	for {
+		c, err := p.parseCond(varName)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+		if !p.accept(tokKeyword, "and") {
+			return out, nil
+		}
+	}
+}
+
+func (p *parser) parseCond(varName string) (Cond, error) {
+	var c Cond
+	if _, err := p.expect(tokIdent, varName); err != nil {
+		return c, err
+	}
+	switch {
+	case p.accept(tokPunct, "."):
+		attr, err := p.expect(tokIdent, "")
+		if err != nil {
+			return c, err
+		}
+		c.Attr = attr.text
+		switch {
+		case p.accept(tokKeyword, "like"):
+			c.Op = "like"
+		case p.at(tokOp, ""):
+			c.Op = p.next().text
+		default:
+			return c, p.errf("expected comparison operator, got %s", p.peek())
+		}
+		val, err := p.parseValue()
+		if err != nil {
+			return c, err
+		}
+		c.Value = val
+		return c, nil
+	case p.at(tokPunct, "["):
+		sel, err := p.parseSelectorBody()
+		if err != nil {
+			return c, err
+		}
+		c.Selector = sel
+		if _, err := p.expect(tokPunct, "."); err != nil {
+			return c, err
+		}
+		dir, err := p.expect(tokIdent, "")
+		if err != nil {
+			return c, err
+		}
+		if dir.text != "next" && dir.text != "prev" {
+			return c, p.errf("expected next or prev, got %q", dir.text)
+		}
+		c.Direction = dir.text
+		if p.accept(tokKeyword, "not") {
+			c.Negated = true
+		}
+		if _, err := p.expect(tokKeyword, "has"); err != nil {
+			return c, err
+		}
+		tmpl, err := p.parseTemplate()
+		if err != nil {
+			return c, err
+		}
+		c.Template = tmpl
+		return c, nil
+	default:
+		return c, p.errf("expected attribute or selector after %q", varName)
+	}
+}
+
+// parseSelector parses `<var>["sel"]`.
+func (p *parser) parseSelector(varName string) (string, error) {
+	if _, err := p.expect(tokIdent, varName); err != nil {
+		return "", err
+	}
+	return p.parseSelectorBody()
+}
+
+func (p *parser) parseSelectorBody() (string, error) {
+	if _, err := p.expect(tokPunct, "["); err != nil {
+		return "", err
+	}
+	s, err := p.expect(tokString, "")
+	if err != nil {
+		return "", err
+	}
+	if _, err := p.expect(tokPunct, "]"); err != nil {
+		return "", err
+	}
+	return s.text, nil
+}
+
+// parseTemplate parses KIND or KIND("arg").
+func (p *parser) parseTemplate() (NodeTemplate, error) {
+	var t NodeTemplate
+	id, err := p.expect(tokIdent, "")
+	if err != nil {
+		return t, err
+	}
+	kind, err := templateKind(id.text)
+	if err != nil {
+		return t, p.errf("%v", err)
+	}
+	t.Kind = kind
+	if p.accept(tokPunct, "(") {
+		arg, err := p.expect(tokString, "")
+		if err != nil {
+			return t, err
+		}
+		t.Arg = arg.text
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return t, err
+		}
+	}
+	return t, nil
+}
+
+// templateKind maps the DQL template spelling (POOL, CONV, RELU, ...) to the
+// dnn layer kind.
+func templateKind(word string) (string, error) {
+	switch strings.ToUpper(word) {
+	case "CONV":
+		return "conv", nil
+	case "POOL":
+		return "pool", nil
+	case "FULL", "IP":
+		return "full", nil
+	case "RELU":
+		return "relu", nil
+	case "SIGMOID":
+		return "sigmoid", nil
+	case "TANH":
+		return "tanh", nil
+	case "SOFTMAX":
+		return "softmax", nil
+	default:
+		return "", fmt.Errorf("unknown node template %q", word)
+	}
+}
+
+func (p *parser) parseValue() (Value, error) {
+	switch {
+	case p.at(tokString, ""):
+		return Value{Str: p.next().text}, nil
+	case p.at(tokNumber, ""):
+		t := p.next()
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return Value{}, p.errf("bad number %q", t.text)
+		}
+		return Value{Num: f, IsNum: true}, nil
+	default:
+		return Value{}, p.errf("expected literal, got %s", p.peek())
+	}
+}

@@ -1,0 +1,102 @@
+package dql
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Selector implements the paper's regexp-style node selector, e.g.
+// m["conv[1,3,5]"] or m["conv*($1)"]. The syntax is glob-like:
+//
+//   - literal characters match themselves
+//   - `*` matches any run of characters
+//   - `[abc]` / `[1,3,5]` matches one character from the set (commas are
+//     separators, as in the paper's example)
+//   - `($N)` immediately after a `*` captures that run as variable $N,
+//     usable in node templates of the same statement (e.g. RELU("relu$1"))
+type Selector struct {
+	src string
+	re  *regexp.Regexp
+	// capVar[i] is the $-variable number bound to regexp group i+1, or 0.
+	capVar []int
+}
+
+// CompileSelector translates the selector syntax into an anchored regexp.
+func CompileSelector(src string) (*Selector, error) {
+	var re strings.Builder
+	re.WriteString("^")
+	var capVar []int
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch c {
+		case '*':
+			// Peek for a ($N) capture binding.
+			varNum := 0
+			j := i + 1
+			if j+3 <= len(src) && src[j] == '(' && src[j+1] == '$' {
+				k := j + 2
+				for k < len(src) && src[k] >= '0' && src[k] <= '9' {
+					k++
+				}
+				if k < len(src) && src[k] == ')' && k > j+2 {
+					n, err := strconv.Atoi(src[j+2 : k])
+					if err == nil {
+						varNum = n
+						j = k + 1
+					}
+				}
+			}
+			re.WriteString("(.*)")
+			capVar = append(capVar, varNum)
+			i = j
+		case '[':
+			end := strings.IndexByte(src[i:], ']')
+			if end < 0 {
+				return nil, fmt.Errorf("dql: unterminated character class in selector %q", src)
+			}
+			class := src[i+1 : i+end]
+			class = strings.ReplaceAll(class, ",", "")
+			re.WriteString("[" + class + "]")
+			i += end + 1
+		case '(', ')', '$':
+			return nil, fmt.Errorf("dql: stray %q in selector %q (captures only follow '*')", c, src)
+		default:
+			re.WriteString(regexp.QuoteMeta(string(c)))
+			i++
+		}
+	}
+	re.WriteString("$")
+	compiled, err := regexp.Compile(re.String())
+	if err != nil {
+		return nil, fmt.Errorf("dql: selector %q: %v", src, err)
+	}
+	return &Selector{src: src, re: compiled, capVar: capVar}, nil
+}
+
+// Match reports whether name matches, and if so the captured $-variables.
+func (s *Selector) Match(name string) (bool, map[int]string) {
+	groups := s.re.FindStringSubmatch(name)
+	if groups == nil {
+		return false, nil
+	}
+	caps := map[int]string{}
+	for gi, varNum := range s.capVar {
+		if varNum > 0 && gi+1 < len(groups) {
+			caps[varNum] = groups[gi+1]
+		}
+	}
+	return true, caps
+}
+
+// SubstituteCaptures replaces $N references in a template argument with the
+// captured strings.
+func SubstituteCaptures(arg string, caps map[int]string) string {
+	out := arg
+	for n, v := range caps {
+		out = strings.ReplaceAll(out, fmt.Sprintf("$%d", n), v)
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+// Package dql implements the paper's DQL domain specific language
+// (Sec. III-B): declarative model exploration and enumeration queries over
+// a DLV repository. Four statement forms are supported, mirroring the
+// paper's Queries 1-4:
+//
+//	select m where <conditions>
+//	slice m2 from m1 where <conditions> mutate m2.input = m1["sel"] and m2.output = m1["sel"]
+//	construct m2 from m1 where <conditions> mutate m1["sel"].insert = RELU("name") ...
+//	evaluate m from (<query>) with config = <json|path> vary <dims> keep top(k, m["loss"], iters)
+//
+// Conditions mix relational predicates over version attributes (name,
+// creation_time, accuracy, ...) with graph-traversal predicates over the
+// network DAG via the selector operator m["conv[1,3,5]"] and the prev/next
+// attributes (`has` tests against node templates like POOL("MAX")).
+package dql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokKeyword
+	tokString
+	tokNumber
+	tokOp     // = != < <= > >=
+	tokPunct  // . [ ] ( ) ,
+	tokVarRef // $1, $2 ...
+)
+
+// keywords of the language (case-insensitive).
+var keywords = map[string]bool{
+	"select": true, "slice": true, "construct": true, "evaluate": true,
+	"from": true, "where": true, "mutate": true, "with": true, "vary": true,
+	"keep": true, "and": true, "like": true, "has": true, "in": true,
+	"auto": true, "top": true, "above": true, "insert": true, "delete": true,
+	"input": true, "output": true, "config": true, "not": true,
+}
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func (t token) String() string { return fmt.Sprintf("%q@%d", t.text, t.pos) }
+
+// ErrSyntax wraps lexical and parse failures.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+func (e *SyntaxError) Error() string { return fmt.Sprintf("dql: syntax error at %d: %s", e.Pos, e.Msg) }
+
+// lex splits the input into tokens.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '"' || c == '\'':
+			quote := c
+			j := i + 1
+			var sb strings.Builder
+			for j < n && input[j] != quote {
+				if input[j] == '\\' && j+1 < n {
+					j++
+				}
+				sb.WriteByte(input[j])
+				j++
+			}
+			if j >= n {
+				return nil, &SyntaxError{Pos: i, Msg: "unterminated string"}
+			}
+			toks = append(toks, token{kind: tokString, text: sb.String(), pos: i})
+			i = j + 1
+		case c == '$':
+			j := i + 1
+			for j < n && unicode.IsDigit(rune(input[j])) {
+				j++
+			}
+			if j == i+1 {
+				return nil, &SyntaxError{Pos: i, Msg: "bad variable reference"}
+			}
+			toks = append(toks, token{kind: tokVarRef, text: input[i:j], pos: i})
+			i = j
+		case unicode.IsDigit(rune(c)) || (c == '-' && i+1 < n && unicode.IsDigit(rune(input[i+1]))):
+			j := i + 1
+			for j < n && (unicode.IsDigit(rune(input[j])) || input[j] == '.' || input[j] == 'e' ||
+				input[j] == 'E' || (input[j] == '-' && (input[j-1] == 'e' || input[j-1] == 'E'))) {
+				j++
+			}
+			toks = append(toks, token{kind: tokNumber, text: input[i:j], pos: i})
+			i = j
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i + 1
+			for j < n && (unicode.IsLetter(rune(input[j])) || unicode.IsDigit(rune(input[j])) || input[j] == '_') {
+				j++
+			}
+			word := input[i:j]
+			kind := tokIdent
+			if keywords[strings.ToLower(word)] {
+				kind = tokKeyword
+				word = strings.ToLower(word)
+			}
+			toks = append(toks, token{kind: kind, text: word, pos: i})
+			i = j
+		case c == '!' || c == '<' || c == '>' || c == '=':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, token{kind: tokOp, text: input[i : i+2], pos: i})
+				i += 2
+			} else if c == '!' {
+				return nil, &SyntaxError{Pos: i, Msg: "unexpected '!'"}
+			} else {
+				toks = append(toks, token{kind: tokOp, text: string(c), pos: i})
+				i++
+			}
+		case strings.ContainsRune(".[](),", rune(c)):
+			toks = append(toks, token{kind: tokPunct, text: string(c), pos: i})
+			i++
+		default:
+			return nil, &SyntaxError{Pos: i, Msg: fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, text: "", pos: n})
+	return toks, nil
+}

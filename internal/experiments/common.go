@@ -1,0 +1,109 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Sec. V): Fig 6(a)-(d), Table IV and Table V, plus the
+// background Table I. Each experiment is a pure function returning
+// structured rows plus a printer that emits the same series the paper
+// reports, so the cmd/mhbench harness and the root bench_test.go share one
+// implementation. Absolute numbers differ from the paper (different
+// hardware and substituted substrate — see DESIGN.md); the comparisons and
+// trends are the reproduction target.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"modelhub/internal/data"
+	"modelhub/internal/dnn"
+	"modelhub/internal/tensor"
+	"modelhub/internal/zoo"
+)
+
+// TrainedModel is a shared fixture: an architecture trained on the digit
+// task with its held-out test set.
+type TrainedModel struct {
+	Name    string
+	Def     *dnn.NetDef
+	Net     *dnn.Network
+	Test    []dnn.Example
+	BaseAcc float64
+}
+
+// TrainFixture trains one zoo architecture deterministically. Size controls
+// the dataset size; epochs the training length.
+func TrainFixture(arch string, size, epochs int, seed int64) (*TrainedModel, error) {
+	var def *dnn.NetDef
+	switch arch {
+	case "lenet":
+		def = zoo.LeNet(arch)
+	case "alexnet-mini":
+		def = zoo.AlexNetMini(arch)
+	case "vgg-mini":
+		def = zoo.VGGMini(arch)
+	case "resnet-mini":
+		def = zoo.ResNetMini(arch)
+	default:
+		return nil, fmt.Errorf("experiments: unknown arch %q", arch)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	examples := data.Digits(rng, size, 0.05)
+	train, test := data.Split(examples, 0.8)
+	net, err := dnn.Build(def, rand.New(rand.NewSource(seed+1)))
+	if err != nil {
+		return nil, err
+	}
+	if _, err := dnn.Train(net, train, dnn.TrainConfig{
+		Epochs: epochs, BatchSize: 16, LR: 0.02, Momentum: 0.9, Seed: seed + 2,
+	}); err != nil {
+		return nil, err
+	}
+	return &TrainedModel{
+		Name: arch, Def: def, Net: net, Test: test,
+		BaseAcc: dnn.Evaluate(net, test),
+	}, nil
+}
+
+// FineTune continues training a copy of m with a lower learning rate for a
+// few steps, returning the new weights — the fine-tuned-relative workload.
+func FineTune(m *TrainedModel, iters int, seed int64) (map[string]*tensor.Matrix, error) {
+	net, err := dnn.Build(m.Def, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, err
+	}
+	if err := net.Restore(m.Net.Snapshot()); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed + 1))
+	examples := data.Digits(rng, 200, 0.05)
+	if _, err := dnn.Train(net, examples, dnn.TrainConfig{
+		Epochs: 1, BatchSize: 16, LR: 0.01, MaxIters: iters, Seed: seed + 2,
+	}); err != nil {
+		return nil, err
+	}
+	return net.Snapshot(), nil
+}
+
+// snapshotRawBytes sums the float32 byte size of a snapshot.
+func snapshotRawBytes(w map[string]*tensor.Matrix) int {
+	total := 0
+	for _, m := range w {
+		total += 4 * m.Len()
+	}
+	return total
+}
+
+// restoreEval evaluates accuracy of def with the given weights.
+func restoreEval(def *dnn.NetDef, w map[string]*tensor.Matrix, test []dnn.Example) (float64, error) {
+	net, err := dnn.Build(def, rand.New(rand.NewSource(0)))
+	if err != nil {
+		return 0, err
+	}
+	if err := net.Restore(w); err != nil {
+		return 0, err
+	}
+	return dnn.Evaluate(net, test), nil
+}
+
+func fprintf(w io.Writer, format string, args ...any) {
+	fmt.Fprintf(w, format, args...)
+}

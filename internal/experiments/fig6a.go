@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"io"
+
+	"modelhub/internal/floatenc"
+	"modelhub/internal/tensor"
+)
+
+// Fig6aRow is one point of Fig 6(a): a float representation scheme's
+// average compression ratio (raw float32 bytes / compressed encoded bytes)
+// against its accuracy drop.
+type Fig6aRow struct {
+	Scheme       floatenc.Scheme
+	Compression  float64 // x in the paper's plot: compression ratio
+	AccuracyDrop float64 // y: accuracy_full - accuracy_scheme
+}
+
+// Fig6aSchemes is the scheme set the experiment sweeps, mirroring the
+// paper's float/fixed/quantization families.
+func Fig6aSchemes() []floatenc.Scheme {
+	return []floatenc.Scheme{
+		{Kind: floatenc.Float32},
+		{Kind: floatenc.BFloat16},
+		{Kind: floatenc.Float16},
+		{Kind: floatenc.Fixed, Bits: 16},
+		{Kind: floatenc.Fixed, Bits: 8},
+		{Kind: floatenc.QuantUniform, Bits: 8},
+		{Kind: floatenc.QuantUniform, Bits: 4},
+		{Kind: floatenc.QuantRandom, Bits: 8},
+		{Kind: floatenc.QuantRandom, Bits: 4},
+	}
+}
+
+// RunFig6a trains the models and measures each scheme on them, averaging
+// compression and accuracy drop across models (the paper averages over
+// LeNet / AlexNet / VGG).
+func RunFig6a(models []*TrainedModel) ([]Fig6aRow, error) {
+	var rows []Fig6aRow
+	for _, scheme := range Fig6aSchemes() {
+		var sumRatio, sumDrop float64
+		for _, m := range models {
+			snap := m.Net.Snapshot()
+			rawBytes := snapshotRawBytes(snap)
+			compBytes := 0
+			lossy := map[string]*tensor.Matrix{}
+			for name, mat := range snap {
+				enc, err := floatenc.Encode(scheme, mat)
+				if err != nil {
+					return nil, err
+				}
+				blob, err := enc.MarshalBinary()
+				if err != nil {
+					return nil, err
+				}
+				z, err := floatenc.CompressedSize(blob)
+				if err != nil {
+					return nil, err
+				}
+				compBytes += z
+				dec, err := floatenc.Decode(enc)
+				if err != nil {
+					return nil, err
+				}
+				lossy[name] = dec
+			}
+			acc, err := restoreEval(m.Def, lossy, m.Test)
+			if err != nil {
+				return nil, err
+			}
+			sumRatio += float64(rawBytes) / float64(compBytes)
+			sumDrop += m.BaseAcc - acc
+		}
+		n := float64(len(models))
+		rows = append(rows, Fig6aRow{
+			Scheme:       scheme,
+			Compression:  sumRatio / n,
+			AccuracyDrop: sumDrop / n,
+		})
+	}
+	return rows, nil
+}
+
+// PrintFig6a renders the figure's series as a table.
+func PrintFig6a(w io.Writer, rows []Fig6aRow) {
+	fprintf(w, "Fig 6(a): compression-accuracy tradeoff for float representation schemes\n")
+	fprintf(w, "%-18s %14s %14s\n", "SCHEME", "COMPRESSION(x)", "ACC DROP")
+	for _, r := range rows {
+		fprintf(w, "%-18s %14.2f %14.4f\n", r.Scheme, r.Compression, r.AccuracyDrop)
+	}
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"io"
+	"math/rand"
+
+	"modelhub/internal/dnn"
+	"modelhub/internal/zoo"
+)
+
+// Tab1Row pairs a paper Table I entry with this repository's reduced-scale
+// counterpart (same architecture regex family).
+type Tab1Row struct {
+	Paper zoo.TableIEntry
+	// MiniName / MiniRegex / MiniParams describe our substitute, empty when
+	// the paper model has no laptop-scale counterpart here (ResNet).
+	MiniName   string
+	MiniRegex  string
+	MiniParams int
+}
+
+// RunTable1 assembles the architecture table.
+func RunTable1() ([]Tab1Row, error) {
+	minis := map[string]*dnn.NetDef{
+		"LeNet":   zoo.LeNet("lenet"),
+		"AlexNet": zoo.AlexNetMini("alexnet-mini"),
+		"VGG":     zoo.VGGMini("vgg-mini"),
+		"ResNet":  zoo.ResNetMini("resnet-mini"),
+	}
+	var rows []Tab1Row
+	for _, entry := range zoo.TableI() {
+		row := Tab1Row{Paper: entry}
+		if def, ok := minis[entry.Model]; ok {
+			regex, err := zoo.ArchRegex(def)
+			if err != nil {
+				return nil, err
+			}
+			net, err := dnn.Build(def, rand.New(rand.NewSource(1)))
+			if err != nil {
+				return nil, err
+			}
+			row.MiniName = def.Name
+			row.MiniRegex = regex
+			row.MiniParams = net.ParamCount()
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintTable1 renders the paper table next to the reduced-scale substitutes.
+func PrintTable1(w io.Writer, rows []Tab1Row) {
+	fprintf(w, "Table I: popular CNN models (paper) and this repo's reduced-scale counterparts\n")
+	fprintf(w, "%-8s %-42s %-10s | %-14s %-26s %s\n",
+		"MODEL", "PAPER REGEX", "|W|", "MINI", "MINI REGEX", "MINI |W|")
+	for _, r := range rows {
+		if r.MiniName == "" {
+			fprintf(w, "%-8s %-42s %-10.3g | %-14s %-26s %s\n",
+				r.Paper.Model, r.Paper.Regex, r.Paper.Flops, "-", "-", "-")
+			continue
+		}
+		fprintf(w, "%-8s %-42s %-10.3g | %-14s %-26s %d\n",
+			r.Paper.Model, r.Paper.Regex, r.Paper.Flops, r.MiniName, r.MiniRegex, r.MiniParams)
+	}
+}

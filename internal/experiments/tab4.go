@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"io"
+
+	"modelhub/internal/delta"
+	"modelhub/internal/floatenc"
+	"modelhub/internal/tensor"
+)
+
+// Tab4Row is one cell pair of Table IV: for a (value scheme, normalization,
+// bytewise) configuration, the compressed size of materializing the target
+// vs delta-encoding it against its fine-tuning parent — as a percentage of
+// the raw 32-bit footprint (lower is better).
+type Tab4Row struct {
+	Scheme      string // "lossless" or "fixpoint"
+	Normalized  bool
+	Bytewise    bool
+	Materialize float64
+	DeltaSub    float64
+}
+
+// RunTable4 reproduces Table IV on a fine-tuned model pair. The paper keeps
+// 32 bits per value throughout (fixed-point here uses 32-bit mantissas) and
+// varies the representation, normalization, and bytewise compression.
+func RunTable4(seed int64) ([]Tab4Row, error) {
+	base, err := TrainFixture("lenet", 400, 3, seed)
+	if err != nil {
+		return nil, err
+	}
+	ft, err := FineTune(base, 10, seed+50)
+	if err != nil {
+		return nil, err
+	}
+	baseSnap := base.Net.Snapshot()
+
+	type xform func(m *tensor.Matrix) (*tensor.Matrix, error)
+	id := func(m *tensor.Matrix) (*tensor.Matrix, error) { return m, nil }
+	fix := func(m *tensor.Matrix) (*tensor.Matrix, error) {
+		enc, err := floatenc.Encode(floatenc.Scheme{Kind: floatenc.Fixed, Bits: 32}, m)
+		if err != nil {
+			return nil, err
+		}
+		return floatenc.Decode(enc)
+	}
+	norm := func(m *tensor.Matrix) (*tensor.Matrix, error) {
+		n, _ := floatenc.Normalize(m)
+		return n, nil
+	}
+	chain := func(fs ...xform) xform {
+		return func(m *tensor.Matrix) (*tensor.Matrix, error) {
+			var err error
+			for _, f := range fs {
+				m, err = f(m)
+				if err != nil {
+					return nil, err
+				}
+			}
+			return m, nil
+		}
+	}
+
+	configs := []struct {
+		scheme     string
+		normalized bool
+		bytewise   bool
+		f          xform
+	}{
+		{"lossless", false, false, id},
+		{"lossless", false, true, id},
+		{"fixpoint", false, false, fix},
+		{"fixpoint", false, true, fix},
+		{"lossless", true, false, norm},
+		{"lossless", true, true, norm},
+		{"fixpoint", true, false, chain(norm, fix)},
+		{"fixpoint", true, true, chain(norm, fix)},
+	}
+
+	var rows []Tab4Row
+	for _, cfg := range configs {
+		var rawTotal, matTotal, subTotal int
+		for name, target := range ft {
+			baseM := baseSnap[name]
+			tX, err := cfg.f(target)
+			if err != nil {
+				return nil, err
+			}
+			bX, err := cfg.f(baseM)
+			if err != nil {
+				return nil, err
+			}
+			rawTotal += 4 * target.Len()
+			mat, err := measure(tX, cfg.bytewise)
+			if err != nil {
+				return nil, err
+			}
+			matTotal += mat
+			d, err := delta.Compute(delta.Sub, bX, tX)
+			if err != nil {
+				return nil, err
+			}
+			ds, err := measure(d.Body, cfg.bytewise)
+			if err != nil {
+				return nil, err
+			}
+			subTotal += ds
+		}
+		rows = append(rows, Tab4Row{
+			Scheme:      cfg.scheme,
+			Normalized:  cfg.normalized,
+			Bytewise:    cfg.bytewise,
+			Materialize: 100 * float64(matTotal) / float64(rawTotal),
+			DeltaSub:    100 * float64(subTotal) / float64(rawTotal),
+		})
+	}
+	return rows, nil
+}
+
+func measure(m *tensor.Matrix, bytewise bool) (int, error) {
+	if bytewise {
+		fp, err := delta.MeasureMatrixBytewise(m)
+		if err != nil {
+			return 0, err
+		}
+		return fp.CompressedBytes, nil
+	}
+	fp, err := delta.MeasureMatrix(m)
+	if err != nil {
+		return 0, err
+	}
+	return fp.CompressedBytes, nil
+}
+
+// PrintTable4 renders the table in the paper's layout.
+func PrintTable4(w io.Writer, rows []Tab4Row) {
+	fprintf(w, "Table IV: delta performance for lossless & lossy schemes, 32 bits (%% of raw)\n")
+	fprintf(w, "%-22s %-14s %12s %12s\n", "SCHEME", "CONFIG", "MATERIALIZE", "DELTA-SUB")
+	for _, r := range rows {
+		group := "Float Number Repr."
+		if r.Normalized {
+			group = "After Normalization"
+		}
+		cfg := r.Scheme
+		if r.Bytewise {
+			cfg += ", bytewise"
+		}
+		fprintf(w, "%-22s %-14s %11.2f%% %11.2f%%\n", group, cfg, r.Materialize, r.DeltaSub)
+	}
+}

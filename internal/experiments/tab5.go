@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"modelhub/internal/dlv"
+	"modelhub/internal/pas"
+	"modelhub/internal/synth"
+)
+
+// Tab5Row is one row of Table V: average wall-clock time to recreate a
+// snapshot under a storage plan, a query resolution (full / 2-byte /
+// 1-byte), and a retrieval scheme.
+type Tab5Row struct {
+	Plan        string // "materialization" (SPT), "min-storage" (MST), "pas"
+	Query       string // "full", "2 bytes", "1 byte"
+	Independent time.Duration
+	Parallel    time.Duration
+}
+
+// Tab5Config sizes the experiment.
+type Tab5Config struct {
+	Versions            int
+	SnapshotsPerVersion int
+	Alpha               float64
+	Seed                int64
+}
+
+func (c Tab5Config) withDefaults() Tab5Config {
+	if c.Versions == 0 {
+		c.Versions = 4
+	}
+	if c.SnapshotsPerVersion == 0 {
+		c.SnapshotsPerVersion = 3
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 1.6
+	}
+	return c
+}
+
+// RunTable5 builds an SD repository, archives it under the three plans the
+// paper compares, and measures snapshot recreation times.
+func RunTable5(dir string, cfg Tab5Config) ([]Tab5Row, error) {
+	cfg = cfg.withDefaults()
+	repo, err := synth.GenerateSD(dir, synth.SDConfig{
+		Versions:            cfg.Versions,
+		SnapshotsPerVersion: cfg.SnapshotsPerVersion,
+		ItersPerSnapshot:    6,
+		TrainExamples:       240,
+		Seed:                cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	versions, err := repo.List()
+	if err != nil {
+		return nil, err
+	}
+
+	plans := []struct {
+		label string
+		algo  string
+		alpha float64
+	}{
+		{"materialization", "spt", 0},
+		{"min-storage", "mst", 0},
+		{fmt.Sprintf("pas (a=%.1f)", cfg.Alpha), "pas-mt", cfg.Alpha},
+	}
+	queries := []struct {
+		label  string
+		prefix int
+	}{
+		{"full", 4},
+		{"2 bytes", 2},
+		{"1 byte", 1},
+	}
+
+	var rows []Tab5Row
+	for _, p := range plans {
+		os.RemoveAll(dir + "/.dlv/pas")
+		store, err := repo.Archive(dlv.ArchiveOptions{
+			Algorithm: p.algo, Scheme: pas.Independent, Alpha: p.alpha,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, q := range queries {
+			indep, err := timeRetrieval(store, versions, q.prefix, pas.Independent)
+			if err != nil {
+				return nil, err
+			}
+			par, err := timeRetrieval(store, versions, q.prefix, pas.Parallel)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Tab5Row{
+				Plan: p.label, Query: q.label, Independent: indep, Parallel: par,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// timeRetrieval measures the average time to retrieve every snapshot in the
+// archive.
+func timeRetrieval(store *pas.Store, versions []*dlv.Version, prefix int, scheme pas.Scheme) (time.Duration, error) {
+	snaps := store.Snapshots()
+	start := time.Now()
+	for _, snap := range snaps {
+		if _, err := store.GetSnapshot(snap, prefix, scheme); err != nil {
+			return 0, err
+		}
+	}
+	_ = versions
+	return time.Since(start) / time.Duration(len(snaps)), nil
+}
+
+// PrintTable5 renders the recreation-performance comparison.
+func PrintTable5(w io.Writer, rows []Tab5Row) {
+	fprintf(w, "Table V: recreation performance comparison of storage plans (avg per snapshot)\n")
+	fprintf(w, "%-18s %-10s %14s %14s\n", "STORAGE PLAN", "QUERY", "INDEPENDENT", "PARALLEL")
+	for _, r := range rows {
+		fprintf(w, "%-18s %-10s %14s %14s\n", r.Plan, r.Query,
+			r.Independent.Round(time.Microsecond), r.Parallel.Round(time.Microsecond))
+	}
+}

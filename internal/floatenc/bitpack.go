@@ -1,0 +1,57 @@
+package floatenc
+
+import "fmt"
+
+// bitWriter packs fixed-width unsigned codes into a byte slice, MSB-first.
+type bitWriter struct {
+	buf  []byte
+	bits uint // number of valid bits in the last byte
+}
+
+// writeBits appends the low `width` bits of v.
+func (w *bitWriter) writeBits(v uint32, width int) {
+	for width > 0 {
+		if w.bits == 0 {
+			w.buf = append(w.buf, 0)
+			w.bits = 8
+		}
+		take := int(w.bits)
+		if take > width {
+			take = width
+		}
+		shift := width - take
+		chunk := byte(v>>uint(shift)) & (1<<take - 1)
+		last := len(w.buf) - 1
+		w.buf[last] |= chunk << (w.bits - uint(take))
+		w.bits -= uint(take)
+		width -= take
+	}
+}
+
+// bitReader reads fixed-width codes written by bitWriter.
+type bitReader struct {
+	buf []byte
+	pos uint // absolute bit position
+}
+
+// readBits extracts the next `width` bits MSB-first.
+func (r *bitReader) readBits(width int) (uint32, error) {
+	var v uint32
+	for width > 0 {
+		byteIdx := r.pos / 8
+		if int(byteIdx) >= len(r.buf) {
+			return 0, fmt.Errorf("floatenc: bit stream exhausted at bit %d", r.pos)
+		}
+		avail := 8 - r.pos%8
+		take := uint(width)
+		if take > avail {
+			take = avail
+		}
+		b := r.buf[byteIdx]
+		chunk := (b >> (avail - take)) & (1<<take - 1)
+		v = v<<take | uint32(chunk)
+		r.pos += take
+		width -= int(take)
+	}
+	return v, nil
+}

@@ -1,0 +1,55 @@
+package floatenc
+
+import (
+	"bytes"
+	"compress/zlib"
+	"fmt"
+	"io"
+)
+
+// zlib helpers. The paper compresses matrices, deltas and byte planes with
+// zlib level 6; these wrappers keep that policy in one place.
+
+// DefaultZlibLevel mirrors the paper's experimental setting.
+const DefaultZlibLevel = 6
+
+// Deflate compresses data with zlib at the given level.
+func Deflate(data []byte, level int) ([]byte, error) {
+	var buf bytes.Buffer
+	zw, err := zlib.NewWriterLevel(&buf, level)
+	if err != nil {
+		return nil, fmt.Errorf("floatenc: zlib writer: %w", err)
+	}
+	if _, err := zw.Write(data); err != nil {
+		zw.Close()
+		return nil, fmt.Errorf("floatenc: zlib write: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return nil, fmt.Errorf("floatenc: zlib close: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Inflate decompresses zlib data produced by Deflate.
+func Inflate(data []byte) ([]byte, error) {
+	zr, err := zlib.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("floatenc: zlib reader: %w", err)
+	}
+	defer zr.Close()
+	out, err := io.ReadAll(zr)
+	if err != nil {
+		return nil, fmt.Errorf("floatenc: zlib inflate: %w", err)
+	}
+	return out, nil
+}
+
+// CompressedSize returns the zlib level-6 size of data, the metric every
+// storage experiment reports.
+func CompressedSize(data []byte) (int, error) {
+	out, err := Deflate(data, DefaultZlibLevel)
+	if err != nil {
+		return 0, err
+	}
+	return len(out), nil
+}

@@ -1,0 +1,78 @@
+package floatenc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Binary format for an Encoded matrix:
+//
+//	magic   uint32 'M','H','E','0'
+//	kind    uint8
+//	bits    uint8
+//	_pad    uint16
+//	rows    uint32
+//	cols    uint32
+//	exp     int32
+//	tableN  uint32, then tableN float32 bit patterns
+//	payload uint32 length, then payload bytes
+const encodedMagic uint32 = 0x4d484530 // "MHE0"
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (e *Encoded) MarshalBinary() ([]byte, error) {
+	if err := e.Scheme.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, 28+4*len(e.Table)+len(e.Payload))
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:], encodedMagic)
+	hdr[4] = byte(e.Scheme.Kind)
+	hdr[5] = byte(e.Scheme.Bits)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(e.Rows))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(e.Cols))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(e.Exp))
+	binary.LittleEndian.PutUint32(hdr[20:], uint32(len(e.Table)))
+	out = append(out, hdr[:]...)
+	for _, v := range e.Table {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], math.Float32bits(v))
+		out = append(out, b[:]...)
+	}
+	var plen [4]byte
+	binary.LittleEndian.PutUint32(plen[:], uint32(len(e.Payload)))
+	out = append(out, plen[:]...)
+	out = append(out, e.Payload...)
+	return out, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (e *Encoded) UnmarshalBinary(data []byte) error {
+	if len(data) < 28 {
+		return fmt.Errorf("floatenc: encoded blob too short (%d bytes)", len(data))
+	}
+	if magic := binary.LittleEndian.Uint32(data[0:]); magic != encodedMagic {
+		return fmt.Errorf("floatenc: bad encoded magic %#x", magic)
+	}
+	e.Scheme = Scheme{Kind: Kind(data[4]), Bits: int(data[5])}
+	e.Rows = int(binary.LittleEndian.Uint32(data[8:]))
+	e.Cols = int(binary.LittleEndian.Uint32(data[12:]))
+	e.Exp = int32(binary.LittleEndian.Uint32(data[16:]))
+	tableN := int(binary.LittleEndian.Uint32(data[20:]))
+	pos := 24
+	if tableN < 0 || tableN > 1<<16 || len(data) < pos+4*tableN+4 {
+		return fmt.Errorf("floatenc: encoded blob truncated in table (n=%d)", tableN)
+	}
+	e.Table = make([]float32, tableN)
+	for i := range e.Table {
+		e.Table[i] = math.Float32frombits(binary.LittleEndian.Uint32(data[pos:]))
+		pos += 4
+	}
+	plen := int(binary.LittleEndian.Uint32(data[pos:]))
+	pos += 4
+	if plen < 0 || len(data) != pos+plen {
+		return fmt.Errorf("floatenc: encoded blob payload length %d does not match %d remaining bytes", plen, len(data)-pos)
+	}
+	e.Payload = append([]byte(nil), data[pos:]...)
+	return e.Scheme.Validate()
+}

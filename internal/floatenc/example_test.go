@@ -1,0 +1,38 @@
+package floatenc_test
+
+import (
+	"fmt"
+
+	"modelhub/internal/floatenc"
+	"modelhub/internal/tensor"
+)
+
+// Encoding a weight matrix with a lossy scheme trades precision for
+// footprint (paper Fig 6(a)).
+func ExampleEncode() {
+	m := tensor.MustFromSlice(1, 4, []float32{0.5, -0.25, 0.125, 0})
+	enc, err := floatenc.Encode(floatenc.Scheme{Kind: floatenc.Fixed, Bits: 8}, m)
+	if err != nil {
+		panic(err)
+	}
+	dec, err := floatenc.Decode(enc)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(enc.Scheme, dec.Data())
+	// Output: fixed-8 [0.5 -0.25 0.125 0]
+}
+
+// Byte-plane segmentation splits a float matrix into four planes; a prefix
+// of planes bounds every value in an interval (paper Sec. IV-B).
+func ExampleSegment() {
+	m := tensor.MustFromSlice(1, 2, []float32{1.5, -2.25})
+	seg := floatenc.Segment(m)
+	exact, _ := seg.Reconstruct()
+	lo, hi, _ := seg.Intervals(2) // top two byte planes only
+	fmt.Println(exact.Data())
+	fmt.Printf("%.4f..%.4f contains %v\n", lo.At(0, 0), hi.At(0, 0), m.At(0, 0))
+	// Output:
+	// [1.5 -2.25]
+	// 1.5000..1.5078 contains 1.5
+}

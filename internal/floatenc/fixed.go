@@ -1,0 +1,77 @@
+package floatenc
+
+import (
+	"fmt"
+	"math"
+)
+
+// Fixed-point encoding (paper Sec. IV-B): one global exponent per matrix,
+// each value stored as a k-bit two's-complement mantissa. The encoder picks
+// the largest exponent e such that round(v / 2^e) fits in k bits for the
+// matrix's absolute maximum, dropping tail precision. At most 2^k distinct
+// values can be expressed, which collapses entropy and helps compression.
+
+// encodeFixed returns the packed k-bit mantissas and the chosen exponent.
+func encodeFixed(vals []float32, bits int) ([]byte, int32) {
+	absMax := 0.0
+	for _, v := range vals {
+		f := math.Abs(float64(v))
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			continue
+		}
+		if f > absMax {
+			absMax = f
+		}
+	}
+	// Largest representable magnitude with k bits two's complement is
+	// 2^(k-1)-1 steps of 2^exp. Choose exp so absMax maps near full scale.
+	maxCode := float64(int64(1)<<(bits-1) - 1)
+	var exp int32
+	if absMax > 0 {
+		exp = int32(math.Ceil(math.Log2(absMax / maxCode)))
+	} else {
+		exp = 0
+	}
+	scale := math.Pow(2, float64(exp))
+	w := &bitWriter{}
+	minCode := -float64(int64(1) << (bits - 1))
+	for _, v := range vals {
+		f := float64(v)
+		if math.IsNaN(f) {
+			f = 0
+		}
+		c := math.Round(f / scale)
+		if c > maxCode {
+			c = maxCode
+		}
+		if c < minCode {
+			c = minCode
+		}
+		w.writeBits(uint32(int64(c))&(1<<uint(bits)-1), bits)
+	}
+	return w.buf, exp
+}
+
+// decodeFixed reconstructs n values from packed k-bit mantissas.
+func decodeFixed(payload []byte, n, bits int, exp int32) ([]float32, error) {
+	need := (n*bits + 7) / 8
+	if len(payload) != need {
+		return nil, fmt.Errorf("floatenc: fixed payload %d bytes, want %d", len(payload), need)
+	}
+	scale := math.Pow(2, float64(exp))
+	r := &bitReader{buf: payload}
+	out := make([]float32, n)
+	signBit := uint32(1) << uint(bits-1)
+	for i := range out {
+		c, err := r.readBits(bits)
+		if err != nil {
+			return nil, err
+		}
+		v := int64(c)
+		if c&signBit != 0 { // sign extend
+			v -= int64(1) << uint(bits)
+		}
+		out[i] = float32(float64(v) * scale)
+	}
+	return out, nil
+}

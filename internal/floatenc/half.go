@@ -1,0 +1,120 @@
+package floatenc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// IEEE 754 half-precision and bfloat16 conversions. Implemented from the bit
+// definitions (stdlib has no half type). Rounding is round-to-nearest-even
+// for float16; bfloat16 uses the same rounding on the retained 8-bit
+// mantissa, matching common "truncated float32" implementations.
+
+// float32ToHalf converts f to the nearest IEEE 754 binary16 value.
+func float32ToHalf(f float32) uint16 {
+	b := math.Float32bits(f)
+	sign := uint16(b>>16) & 0x8000
+	exp := int32(b>>23&0xff) - 127
+	mant := b & 0x7fffff
+
+	switch {
+	case exp == 128: // Inf or NaN
+		if mant != 0 {
+			// Preserve a quiet NaN; keep the top mantissa bits so the
+			// payload survives a round trip at least approximately.
+			return sign | 0x7e00 | uint16(mant>>13) | 1
+		}
+		return sign | 0x7c00
+	case exp > 15: // overflow -> Inf
+		return sign | 0x7c00
+	case exp >= -14: // normal range
+		// 10-bit mantissa with round-to-nearest-even on the dropped 13 bits.
+		half := (uint32(exp+15) << 10) | (mant >> 13)
+		rem := mant & 0x1fff
+		if rem > 0x1000 || (rem == 0x1000 && half&1 == 1) {
+			half++ // may carry into the exponent; that is the correct rounding
+		}
+		return sign | uint16(half)
+	case exp >= -24: // subnormal half
+		// The subnormal code is m_h = 1.mant * 2^(exp+24); with the 24-bit
+		// significand `full` representing 1.mant * 2^23 that is full >> (-exp-1).
+		shift := uint32(-exp - 1) // 14..23
+		full := mant | 0x800000   // implicit leading 1
+		half := full >> shift
+		rem := full & ((1 << shift) - 1)
+		tie := uint32(1) << (shift - 1)
+		if rem > tie || (rem == tie && half&1 == 1) {
+			half++ // may carry into the minimum normal; the bit layout handles it
+		}
+		return sign | uint16(half)
+	default: // underflow -> signed zero
+		return sign
+	}
+}
+
+// halfToFloat32 converts an IEEE 754 binary16 bit pattern to float32.
+func halfToFloat32(h uint16) float32 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h >> 10 & 0x1f)
+	mant := uint32(h & 0x3ff)
+	switch exp {
+	case 0:
+		if mant == 0 {
+			return math.Float32frombits(sign)
+		}
+		// subnormal: normalize
+		e := uint32(127 - 15 + 1)
+		for mant&0x400 == 0 {
+			mant <<= 1
+			e--
+		}
+		mant &= 0x3ff
+		return math.Float32frombits(sign | e<<23 | mant<<13)
+	case 0x1f:
+		return math.Float32frombits(sign | 0xff<<23 | mant<<13)
+	default:
+		return math.Float32frombits(sign | (exp+127-15)<<23 | mant<<13)
+	}
+}
+
+// float32ToBFloat16 converts f to bfloat16 (top 16 float32 bits) with
+// round-to-nearest-even.
+func float32ToBFloat16(f float32) uint16 {
+	b := math.Float32bits(f)
+	if b&0x7f800000 == 0x7f800000 && b&0x7fffff != 0 {
+		return uint16(b>>16) | 0x0040 // keep NaN quiet after truncation
+	}
+	rem := b & 0xffff
+	hi := b >> 16
+	if rem > 0x8000 || (rem == 0x8000 && hi&1 == 1) {
+		hi++
+	}
+	return uint16(hi)
+}
+
+// bfloat16ToFloat32 expands a bfloat16 bit pattern back to float32.
+func bfloat16ToFloat32(h uint16) float32 {
+	return math.Float32frombits(uint32(h) << 16)
+}
+
+// encodeHalf packs each value through conv into little-endian uint16s.
+func encodeHalf(vals []float32, conv func(float32) uint16) []byte {
+	out := make([]byte, 2*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint16(out[2*i:], conv(v))
+	}
+	return out
+}
+
+// decodeHalf unpacks n little-endian uint16s through conv.
+func decodeHalf(payload []byte, n int, conv func(uint16) float32) ([]float32, error) {
+	if len(payload) != 2*n {
+		return nil, fmt.Errorf("floatenc: half payload %d bytes, want %d", len(payload), 2*n)
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = conv(binary.LittleEndian.Uint16(payload[2*i:]))
+	}
+	return out, nil
+}

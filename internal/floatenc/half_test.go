@@ -1,0 +1,132 @@
+package floatenc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHalfKnownValues(t *testing.T) {
+	cases := []struct {
+		f    float32
+		bits uint16
+	}{
+		{0, 0x0000},
+		{1, 0x3c00},
+		{-1, 0xbc00},
+		{0.5, 0x3800},
+		{2, 0x4000},
+		{65504, 0x7bff},                  // max finite half
+		{float32(math.Inf(1)), 0x7c00},   // +Inf
+		{float32(math.Inf(-1)), 0xfc00},  // -Inf
+		{5.960464477539063e-08, 0x0001},  // min subnormal half
+		{6.103515625e-05, 0x0400},        // min normal half
+		{-6.097555160522461e-05, 0x83ff}, // max subnormal magnitude, negative
+	}
+	for _, c := range cases {
+		if got := float32ToHalf(c.f); got != c.bits {
+			t.Errorf("float32ToHalf(%v) = %#04x, want %#04x", c.f, got, c.bits)
+		}
+		if back := halfToFloat32(c.bits); back != c.f {
+			t.Errorf("halfToFloat32(%#04x) = %v, want %v", c.bits, back, c.f)
+		}
+	}
+}
+
+func TestHalfOverflowToInf(t *testing.T) {
+	if got := float32ToHalf(1e6); got != 0x7c00 {
+		t.Fatalf("1e6 should overflow to +Inf, got %#04x", got)
+	}
+	if got := float32ToHalf(-1e6); got != 0xfc00 {
+		t.Fatalf("-1e6 should overflow to -Inf, got %#04x", got)
+	}
+}
+
+func TestHalfUnderflowToZero(t *testing.T) {
+	if got := float32ToHalf(1e-12); got != 0 {
+		t.Fatalf("1e-12 should underflow to +0, got %#04x", got)
+	}
+	if got := float32ToHalf(-1e-12); got != 0x8000 {
+		t.Fatalf("-1e-12 should underflow to -0, got %#04x", got)
+	}
+}
+
+func TestHalfNaN(t *testing.T) {
+	h := float32ToHalf(float32(math.NaN()))
+	if h&0x7c00 != 0x7c00 || h&0x03ff == 0 {
+		t.Fatalf("NaN must map to a half NaN, got %#04x", h)
+	}
+	if !math.IsNaN(float64(halfToFloat32(h))) {
+		t.Fatal("half NaN must decode to NaN")
+	}
+}
+
+// Round-tripping any representable half value through float32 must be exact.
+func TestHalfRoundTripExactProperty(t *testing.T) {
+	f := func(h uint16) bool {
+		f32 := halfToFloat32(h)
+		if math.IsNaN(float64(f32)) {
+			return math.IsNaN(float64(halfToFloat32(float32ToHalf(f32))))
+		}
+		return float32ToHalf(f32) == h || isZeroPair(h, float32ToHalf(f32))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func isZeroPair(a, b uint16) bool {
+	return a&0x7fff == 0 && b&0x7fff == 0 && a == b
+}
+
+// Converting float32 -> half must never err by more than half a ULP of the
+// half format within the normal range.
+func TestHalfRoundingError(t *testing.T) {
+	f := func(v float32) bool {
+		if math.IsNaN(float64(v)) || math.Abs(float64(v)) > 65000 || math.Abs(float64(v)) < 1e-4 {
+			return true
+		}
+		back := float64(halfToFloat32(float32ToHalf(v)))
+		rel := math.Abs(back-float64(v)) / math.Abs(float64(v))
+		return rel <= 1.0/1024 // 2^-10, one half ULP rounded up
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBFloat16KnownValues(t *testing.T) {
+	if got := float32ToBFloat16(1.0); got != 0x3f80 {
+		t.Fatalf("bfloat16(1.0) = %#04x", got)
+	}
+	if got := bfloat16ToFloat32(0x3f80); got != 1.0 {
+		t.Fatalf("bfloat16^-1(0x3f80) = %v", got)
+	}
+	if got := float32ToBFloat16(float32(math.Inf(1))); got != 0x7f80 {
+		t.Fatalf("bfloat16(+Inf) = %#04x", got)
+	}
+}
+
+func TestBFloat16NaNStaysNaN(t *testing.T) {
+	h := float32ToBFloat16(float32(math.NaN()))
+	if !math.IsNaN(float64(bfloat16ToFloat32(h))) {
+		t.Fatalf("bfloat16 NaN round trip lost NaN: %#04x", h)
+	}
+}
+
+func TestBFloat16RelativeError(t *testing.T) {
+	f := func(v float32) bool {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) || v == 0 {
+			return true
+		}
+		back := float64(bfloat16ToFloat32(float32ToBFloat16(v)))
+		if math.IsInf(back, 0) { // rounding at the very top of the range
+			return math.Abs(float64(v)) > 3e38
+		}
+		rel := math.Abs(back-float64(v)) / math.Abs(float64(v))
+		return rel <= 1.0/128 // 2^-7, bfloat16 has 8 mantissa bits incl. implicit
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}

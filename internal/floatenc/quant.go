@@ -1,0 +1,150 @@
+package floatenc
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Quantization schemes (paper Sec. IV-B): values are replaced by k-bit codes
+// (k <= 8) into a per-matrix coding table. "Uniform" builds the table by
+// uniformly binning [min, max]; "random" samples table entries from the
+// value distribution itself (a cheap stand-in for clustering), which adapts
+// to skew. Both are lossy and intended for snapshots kept only for
+// fine-tuning or initialization.
+
+// encodeQuantUniform bins values uniformly between min and max.
+func encodeQuantUniform(vals []float32, bits int) ([]byte, []float32) {
+	lo, hi := finiteRange(vals)
+	k := 1 << uint(bits)
+	table := make([]float32, k)
+	if hi == lo {
+		for i := range table {
+			table[i] = lo
+		}
+	} else {
+		step := (float64(hi) - float64(lo)) / float64(k)
+		for i := range table {
+			table[i] = float32(float64(lo) + step*(float64(i)+0.5))
+		}
+	}
+	codes := make([]uint32, len(vals))
+	if hi > lo {
+		span := float64(hi) - float64(lo)
+		for i, v := range vals {
+			f := clampFinite(v, lo, hi)
+			c := int(float64(f-lo) / span * float64(k))
+			if c >= k {
+				c = k - 1
+			}
+			codes[i] = uint32(c)
+		}
+	}
+	return packCodes(codes, bits), table
+}
+
+// encodeQuantRandom samples the code table from the data (deterministically)
+// and assigns each value its nearest table entry.
+func encodeQuantRandom(vals []float32, bits int) ([]byte, []float32) {
+	k := 1 << uint(bits)
+	rng := rand.New(rand.NewSource(int64(len(vals))*2654435761 + int64(bits)))
+	table := make([]float32, k)
+	if len(vals) == 0 {
+		return packCodes(nil, bits), table
+	}
+	for i := range table {
+		table[i] = clampFinite(vals[rng.Intn(len(vals))], -math.MaxFloat32, math.MaxFloat32)
+	}
+	sort.Slice(table, func(i, j int) bool { return table[i] < table[j] })
+	codes := make([]uint32, len(vals))
+	for i, v := range vals {
+		f := clampFinite(v, -math.MaxFloat32, math.MaxFloat32)
+		codes[i] = uint32(nearestIdx(table, f))
+	}
+	return packCodes(codes, bits), table
+}
+
+// decodeQuant maps packed codes back through the table.
+func decodeQuant(payload []byte, n, bits int, table []float32) ([]float32, error) {
+	need := (n*bits + 7) / 8
+	if len(payload) != need {
+		return nil, fmt.Errorf("floatenc: quant payload %d bytes, want %d", len(payload), need)
+	}
+	if len(table) != 1<<uint(bits) {
+		return nil, fmt.Errorf("floatenc: quant table has %d entries, want %d", len(table), 1<<uint(bits))
+	}
+	r := &bitReader{buf: payload}
+	out := make([]float32, n)
+	for i := range out {
+		c, err := r.readBits(bits)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = table[c]
+	}
+	return out, nil
+}
+
+// nearestIdx returns the index of the table entry closest to v. The table
+// must be sorted ascending.
+func nearestIdx(table []float32, v float32) int {
+	i := sort.Search(len(table), func(i int) bool { return table[i] >= v })
+	if i == 0 {
+		return 0
+	}
+	if i == len(table) {
+		return len(table) - 1
+	}
+	if float64(v)-float64(table[i-1]) <= float64(table[i])-float64(v) {
+		return i - 1
+	}
+	return i
+}
+
+// packCodes packs codes at the given bit width.
+func packCodes(codes []uint32, bits int) []byte {
+	w := &bitWriter{}
+	for _, c := range codes {
+		w.writeBits(c, bits)
+	}
+	return w.buf
+}
+
+// finiteRange returns the min and max finite values, or (0,0) if none.
+func finiteRange(vals []float32) (lo, hi float32) {
+	first := true
+	for _, v := range vals {
+		f := float64(v)
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			continue
+		}
+		if first {
+			lo, hi = v, v
+			first = false
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// clampFinite replaces NaN with lo and clamps Inf into [lo, hi].
+func clampFinite(v, lo, hi float32) float32 {
+	f := float64(v)
+	switch {
+	case math.IsNaN(f):
+		return lo
+	case math.IsInf(f, 1):
+		return hi
+	case math.IsInf(f, -1):
+		return lo
+	default:
+		return v
+	}
+}

@@ -1,0 +1,151 @@
+package floatenc
+
+import (
+	"fmt"
+	"math"
+
+	"modelhub/internal/tensor"
+)
+
+// Bytewise segmentation (paper Sec. IV-B): a float32 matrix is stored as
+// four one-byte planes. Plane 0 holds the most significant byte of every
+// value (sign + 7 exponent bits), plane 3 the least significant mantissa
+// byte. High-order planes have low entropy and compress well; low-order
+// planes can be offloaded or skipped. Reading only a prefix of planes gives,
+// for every element, an interval guaranteed to contain the true value —
+// the foundation of the progressive evaluation scheme (Sec. IV-D).
+
+// NumPlanes is the number of byte planes in a segmented float32 matrix.
+const NumPlanes = 4
+
+// Segmented is a bytewise-segmented float32 matrix.
+type Segmented struct {
+	Rows, Cols int
+	// Planes[i] has Rows*Cols bytes; Planes[0] is the high-order byte.
+	Planes [NumPlanes][]byte
+}
+
+// Segment splits m into byte planes.
+func Segment(m *tensor.Matrix) *Segmented {
+	n := m.Len()
+	s := &Segmented{Rows: m.Rows(), Cols: m.Cols()}
+	for p := 0; p < NumPlanes; p++ {
+		s.Planes[p] = make([]byte, n)
+	}
+	for i, v := range m.Data() {
+		b := math.Float32bits(v)
+		s.Planes[0][i] = byte(b >> 24)
+		s.Planes[1][i] = byte(b >> 16)
+		s.Planes[2][i] = byte(b >> 8)
+		s.Planes[3][i] = byte(b)
+	}
+	return s
+}
+
+// Validate checks plane sizes against the declared shape.
+func (s *Segmented) Validate() error {
+	n := s.Rows * s.Cols
+	for p, plane := range s.Planes {
+		if len(plane) != n {
+			return fmt.Errorf("floatenc: plane %d has %d bytes, want %d", p, len(plane), n)
+		}
+	}
+	return nil
+}
+
+// Reconstruct reassembles the exact matrix from all four planes.
+func (s *Segmented) Reconstruct() (*tensor.Matrix, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	m := tensor.NewMatrix(s.Rows, s.Cols)
+	d := m.Data()
+	for i := range d {
+		b := uint32(s.Planes[0][i])<<24 | uint32(s.Planes[1][i])<<16 |
+			uint32(s.Planes[2][i])<<8 | uint32(s.Planes[3][i])
+		d[i] = math.Float32frombits(b)
+	}
+	return m, nil
+}
+
+// Truncated returns the matrix obtained by zero-filling all planes below the
+// given prefix count (1..4). With prefix=4 it equals Reconstruct.
+func (s *Segmented) Truncated(prefix int) (*tensor.Matrix, error) {
+	lo, _, err := s.Intervals(prefix)
+	return lo, err
+}
+
+// Intervals returns, for a prefix of planes (1..4), two matrices lo and hi
+// such that for every element the true full-precision value v satisfies
+// lo <= v <= hi. Exponent patterns that could be Inf/NaN are widened to the
+// appropriate signed infinity so the guarantee always holds.
+func (s *Segmented) Intervals(prefix int) (lo, hi *tensor.Matrix, err error) {
+	if prefix < 1 || prefix > NumPlanes {
+		return nil, nil, fmt.Errorf("floatenc: plane prefix %d outside [1,%d]", prefix, NumPlanes)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, nil, err
+	}
+	n := s.Rows * s.Cols
+	lo = tensor.NewMatrix(s.Rows, s.Cols)
+	hi = tensor.NewMatrix(s.Rows, s.Cols)
+	ld, hd := lo.Data(), hi.Data()
+	unknown := uint32(0)
+	if prefix < NumPlanes {
+		unknown = 1<<uint(8*(NumPlanes-prefix)) - 1
+	}
+	for i := 0; i < n; i++ {
+		var known uint32
+		for p := 0; p < prefix; p++ {
+			known |= uint32(s.Planes[p][i]) << uint(8*(NumPlanes-1-p))
+		}
+		minBits := known           // all unknown bits zero
+		maxBits := known | unknown // all unknown bits one
+		// For non-negative bit patterns the float ordering matches the bit
+		// ordering; for negative patterns it is reversed.
+		var a, b float32
+		if known&0x80000000 == 0 {
+			a, b = bitsToBound(minBits, false), bitsToBound(maxBits, false)
+		} else {
+			a, b = bitsToBound(maxBits, true), bitsToBound(minBits, true)
+		}
+		ld[i], hd[i] = a, b
+	}
+	return lo, hi, nil
+}
+
+// bitsToBound interprets a bound bit pattern, widening Inf/NaN exponent
+// patterns to signed infinity (neg selects the sign for the widened value).
+func bitsToBound(bits uint32, neg bool) float32 {
+	if bits&0x7f800000 == 0x7f800000 { // Inf or NaN pattern
+		if neg {
+			return float32(math.Inf(-1))
+		}
+		return float32(math.Inf(1))
+	}
+	return math.Float32frombits(bits)
+}
+
+// PlaneEntropy returns the Shannon entropy (bits per byte) of plane p. The
+// paper's segmentation argument rests on high-order planes having low
+// entropy; this is exposed for the experiment reports.
+func (s *Segmented) PlaneEntropy(p int) float64 {
+	plane := s.Planes[p]
+	if len(plane) == 0 {
+		return 0
+	}
+	var counts [256]int
+	for _, b := range plane {
+		counts[b]++
+	}
+	total := float64(len(plane))
+	e := 0.0
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		pr := float64(c) / total
+		e -= pr * math.Log2(pr)
+	}
+	return e
+}

@@ -1,0 +1,88 @@
+package hub
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"strings"
+)
+
+// Client talks to a ModelHub server.
+type Client struct {
+	// Base is the server URL, e.g. "http://localhost:8080".
+	Base string
+	// HTTP is the transport; defaults to http.DefaultClient.
+	HTTP *http.Client
+}
+
+// NewClient creates a client for a server base URL.
+func NewClient(base string) *Client {
+	return &Client{Base: strings.TrimRight(base, "/"), HTTP: http.DefaultClient}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// Publish packs the repository at root and uploads it under the given name
+// (dlv publish).
+func (c *Client) Publish(root, name string) error {
+	var buf bytes.Buffer
+	if err := PackRepo(root, &buf); err != nil {
+		return err
+	}
+	u := fmt.Sprintf("%s/api/publish?name=%s", c.Base, url.QueryEscape(name))
+	resp, err := c.httpClient().Post(u, "application/gzip", &buf)
+	if err != nil {
+		return fmt.Errorf("%w: publish: %v", ErrHub, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return fmt.Errorf("%w: publish failed (%d): %s", ErrHub, resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	return nil
+}
+
+// Search queries the server for repositories matching q (dlv search).
+func (c *Client) Search(q string) ([]RepoInfo, error) {
+	u := fmt.Sprintf("%s/api/search?q=%s", c.Base, url.QueryEscape(q))
+	resp, err := c.httpClient().Get(u)
+	if err != nil {
+		return nil, fmt.Errorf("%w: search: %v", ErrHub, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%w: search failed (%d)", ErrHub, resp.StatusCode)
+	}
+	var out []RepoInfo
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("%w: search response: %v", ErrHub, err)
+	}
+	return out, nil
+}
+
+// Pull downloads a published repository into destRoot (dlv pull). destRoot
+// must not already contain a repository.
+func (c *Client) Pull(name, destRoot string) error {
+	if _, err := os.Stat(destRoot + "/.dlv"); err == nil {
+		return fmt.Errorf("%w: destination already contains a repository", ErrHub)
+	}
+	u := fmt.Sprintf("%s/api/pull?name=%s", c.Base, url.QueryEscape(name))
+	resp, err := c.httpClient().Get(u)
+	if err != nil {
+		return fmt.Errorf("%w: pull: %v", ErrHub, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%w: pull failed (%d)", ErrHub, resp.StatusCode)
+	}
+	return UnpackRepo(resp.Body, destRoot)
+}

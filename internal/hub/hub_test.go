@@ -1,0 +1,288 @@
+package hub
+
+import (
+	"archive/tar"
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"modelhub/internal/dlv"
+	"modelhub/internal/tensor"
+	"modelhub/internal/zoo"
+)
+
+// makeRepo builds a small repository with one committed model.
+func makeRepo(t *testing.T, name string) string {
+	t.Helper()
+	root := t.TempDir()
+	repo, err := dlv.Init(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	weights := map[string]*tensor.Matrix{
+		"conv1": tensor.RandNormal(rng, 8, 10, 0.1),
+		"ip2":   tensor.RandNormal(rng, 10, 65, 0.1),
+	}
+	_ = weights
+	if _, err := repo.Commit(dlv.CommitInput{
+		Name: name, NetDef: zoo.LeNet(name), Accuracy: 0.9,
+		Files: map[string][]byte{"notes.md": []byte("hello")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+func newTestServer(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	srv, err := NewServer(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, NewClient(ts.URL)
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	root := makeRepo(t, "lenet")
+	var buf bytes.Buffer
+	if err := PackRepo(root, &buf); err != nil {
+		t.Fatal(err)
+	}
+	dest := t.TempDir()
+	if err := UnpackRepo(bytes.NewReader(buf.Bytes()), dest); err != nil {
+		t.Fatal(err)
+	}
+	repo, err := dlv.Open(dest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := repo.VersionByName("lenet")
+	if err != nil || v.Accuracy != 0.9 {
+		t.Fatalf("unpacked repo: %+v, %v", v, err)
+	}
+	content, err := repo.GetObject(v.Files["notes.md"])
+	if err != nil || string(content) != "hello" {
+		t.Fatalf("object: %q, %v", content, err)
+	}
+}
+
+func TestPackNonRepo(t *testing.T) {
+	if err := PackRepo(t.TempDir(), &bytes.Buffer{}); !errors.Is(err, ErrHub) {
+		t.Fatal("packing a non-repo must fail")
+	}
+}
+
+func TestUnpackRejectsTraversal(t *testing.T) {
+	evil := func(name string) []byte {
+		var buf bytes.Buffer
+		gz := gzip.NewWriter(&buf)
+		tw := tar.NewWriter(gz)
+		tw.WriteHeader(&tar.Header{Name: name, Mode: 0o644, Size: 4, Typeflag: tar.TypeReg})
+		tw.Write([]byte("evil"))
+		tw.Close()
+		gz.Close()
+		return buf.Bytes()
+	}
+	for _, name := range []string{"../escape", "/abs", "outside.txt", ".dlv/../../x"} {
+		if err := UnpackRepo(bytes.NewReader(evil(name)), t.TempDir()); !errors.Is(err, ErrHub) {
+			t.Errorf("entry %q must be rejected", name)
+		}
+	}
+}
+
+func TestPublishSearchPull(t *testing.T) {
+	_, client := newTestServer(t)
+	root := makeRepo(t, "alexnet_v1")
+	if err := client.Publish(root, "vision-models"); err != nil {
+		t.Fatal(err)
+	}
+	// Search by repo name substring.
+	res, err := client.Search("vision")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Name != "vision-models" || res[0].SizeBytes <= 0 {
+		t.Fatalf("search = %+v", res)
+	}
+	if len(res[0].Models) != 1 || res[0].Models[0] != "alexnet_v1" {
+		t.Fatalf("models = %v", res[0].Models)
+	}
+	// Search by model name substring.
+	res, err = client.Search("alexnet")
+	if err != nil || len(res) != 1 {
+		t.Fatalf("model search = %+v, %v", res, err)
+	}
+	// No match.
+	res, err = client.Search("zzz")
+	if err != nil || len(res) != 0 {
+		t.Fatalf("miss search = %+v, %v", res, err)
+	}
+	// Pull into a fresh root and open it.
+	dest := t.TempDir()
+	if err := client.Pull("vision-models", dest); err != nil {
+		t.Fatal(err)
+	}
+	repo, err := dlv.Open(dest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repo.VersionByName("alexnet_v1"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublishRejectsBadNames(t *testing.T) {
+	_, client := newTestServer(t)
+	root := makeRepo(t, "m")
+	for _, bad := range []string{"", "../evil", "a/b", ".hidden", "sp ace"} {
+		if err := client.Publish(root, bad); err == nil {
+			t.Errorf("name %q must be rejected", bad)
+		}
+	}
+}
+
+func TestPublishRejectsGarbage(t *testing.T) {
+	_, client := newTestServer(t)
+	resp, err := client.httpClient().Post(client.Base+"/api/publish?name=x", "application/gzip",
+		bytes.NewReader([]byte("not a tarball")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == 200 {
+		t.Fatal("garbage archive must be rejected")
+	}
+}
+
+func TestPullUnknown(t *testing.T) {
+	_, client := newTestServer(t)
+	if err := client.Pull("ghost", t.TempDir()); !errors.Is(err, ErrHub) {
+		t.Fatal("unknown pull must fail")
+	}
+}
+
+func TestPullIntoExistingRepo(t *testing.T) {
+	_, client := newTestServer(t)
+	root := makeRepo(t, "m")
+	if err := client.Publish(root, "r"); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Pull("r", root); !errors.Is(err, ErrHub) {
+		t.Fatal("pull into existing repo must fail")
+	}
+}
+
+func TestServerIndexPersistence(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := NewServer(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	client := NewClient(ts.URL)
+	if err := client.Publish(makeRepo(t, "m"), "persisted"); err != nil {
+		t.Fatal(err)
+	}
+	ts.Close()
+	// Reload the server from the same directory.
+	srv2, err := NewServer(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	res, err := NewClient(ts2.URL).Search("persisted")
+	if err != nil || len(res) != 1 {
+		t.Fatalf("reloaded search = %+v, %v", res, err)
+	}
+}
+
+func TestRepublishOverwrites(t *testing.T) {
+	_, client := newTestServer(t)
+	if err := client.Publish(makeRepo(t, "m1"), "r"); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Publish(makeRepo(t, "m2"), "r"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := client.Search("r")
+	if err != nil || len(res) != 1 {
+		t.Fatalf("search = %+v, %v", res, err)
+	}
+	if len(res[0].Models) != 1 || res[0].Models[0] != "m2" {
+		t.Fatalf("republish did not overwrite: %v", res[0].Models)
+	}
+}
+
+func TestClientUnreachableServer(t *testing.T) {
+	client := NewClient("http://127.0.0.1:1") // nothing listens there
+	if err := client.Publish(makeRepo(t, "m"), "x"); !errors.Is(err, ErrHub) {
+		t.Fatal("publish to dead server must fail with ErrHub")
+	}
+	if _, err := client.Search("x"); !errors.Is(err, ErrHub) {
+		t.Fatal("search against dead server must fail")
+	}
+	if err := client.Pull("x", t.TempDir()); !errors.Is(err, ErrHub) {
+		t.Fatal("pull from dead server must fail")
+	}
+}
+
+func TestServerMethodNotAllowed(t *testing.T) {
+	_, client := newTestServer(t)
+	resp, err := client.httpClient().Get(client.Base + "/api/publish?name=x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 405 {
+		t.Fatalf("GET publish = %d", resp.StatusCode)
+	}
+	resp, err = client.httpClient().Post(client.Base+"/api/search", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 405 {
+		t.Fatalf("POST search = %d", resp.StatusCode)
+	}
+	resp, err = client.httpClient().Post(client.Base+"/api/pull?name=x", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 405 {
+		t.Fatalf("POST pull = %d", resp.StatusCode)
+	}
+}
+
+func TestServerCorruptIndex(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(dir+"/index.json", []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewServer(dir); !errors.Is(err, ErrHub) {
+		t.Fatal("corrupt index must fail to load")
+	}
+}
+
+func TestValidateNameEdgeCases(t *testing.T) {
+	long := strings.Repeat("a", 200)
+	for _, bad := range []string{long, "a:b", "a\\b"} {
+		if err := validateName(bad); err == nil {
+			t.Errorf("name %q must be invalid", bad)
+		}
+	}
+	for _, good := range []string{"repo-1", "A.B_c"} {
+		if err := validateName(good); err != nil {
+			t.Errorf("name %q must be valid: %v", good, err)
+		}
+	}
+}

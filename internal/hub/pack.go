@@ -1,0 +1,119 @@
+// Package hub implements the hosted ModelHub service (paper Sec. III, Fig.
+// 3): a server that stores published DLV repositories and lets modelers
+// discover (search) and reuse (pull) them, plus the client used by the
+// `dlv publish / search / pull` commands. Repositories travel as tar.gz
+// archives of their .dlv directory.
+package hub
+
+import (
+	"archive/tar"
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// ErrHub reports client/server-level failures.
+var ErrHub = errors.New("hub: error")
+
+// PackRepo archives the .dlv directory under root into a tar.gz stream.
+func PackRepo(root string, w io.Writer) error {
+	meta := filepath.Join(root, ".dlv")
+	if _, err := os.Stat(meta); err != nil {
+		return fmt.Errorf("%w: no repository at %s", ErrHub, root)
+	}
+	gz := gzip.NewWriter(w)
+	tw := tar.NewWriter(gz)
+	err := filepath.Walk(meta, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		hdr, err := tar.FileInfoHeader(info, "")
+		if err != nil {
+			return err
+		}
+		hdr.Name = rel
+		if info.IsDir() {
+			hdr.Name += "/"
+		}
+		if err := tw.WriteHeader(hdr); err != nil {
+			return err
+		}
+		if info.IsDir() {
+			return nil
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		_, err = io.Copy(tw, f)
+		return err
+	})
+	if err != nil {
+		return fmt.Errorf("%w: packing: %v", ErrHub, err)
+	}
+	if err := tw.Close(); err != nil {
+		return err
+	}
+	return gz.Close()
+}
+
+// UnpackRepo extracts a tar.gz produced by PackRepo into root. Paths are
+// sanitized: entries must stay under ".dlv/" and may not traverse upward.
+func UnpackRepo(r io.Reader, root string) error {
+	gz, err := gzip.NewReader(r)
+	if err != nil {
+		return fmt.Errorf("%w: bad archive: %v", ErrHub, err)
+	}
+	defer gz.Close()
+	tr := tar.NewReader(gz)
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("%w: reading archive: %v", ErrHub, err)
+		}
+		clean := filepath.Clean(filepath.FromSlash(hdr.Name))
+		if strings.HasPrefix(clean, "..") || filepath.IsAbs(clean) {
+			return fmt.Errorf("%w: archive entry escapes root: %q", ErrHub, hdr.Name)
+		}
+		if clean != ".dlv" && !strings.HasPrefix(clean, ".dlv"+string(filepath.Separator)) {
+			return fmt.Errorf("%w: archive entry outside .dlv: %q", ErrHub, hdr.Name)
+		}
+		dest := filepath.Join(root, clean)
+		switch hdr.Typeflag {
+		case tar.TypeDir:
+			if err := os.MkdirAll(dest, 0o755); err != nil {
+				return fmt.Errorf("%w: %v", ErrHub, err)
+			}
+		case tar.TypeReg:
+			if err := os.MkdirAll(filepath.Dir(dest), 0o755); err != nil {
+				return fmt.Errorf("%w: %v", ErrHub, err)
+			}
+			f, err := os.OpenFile(dest, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+			if err != nil {
+				return fmt.Errorf("%w: %v", ErrHub, err)
+			}
+			if _, err := io.Copy(f, tr); err != nil { //nolint:gosec // local trusted archives
+				f.Close()
+				return fmt.Errorf("%w: %v", ErrHub, err)
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("%w: unsupported archive entry type %d", ErrHub, hdr.Typeflag)
+		}
+	}
+}

@@ -1,0 +1,232 @@
+package hub
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"modelhub/internal/dlv"
+)
+
+// maxPublishBytes bounds one published archive (compressed).
+const maxPublishBytes = 1 << 30
+
+// RepoInfo is the search-result record for one published repository.
+type RepoInfo struct {
+	Name        string   `json:"name"`
+	SizeBytes   int64    `json:"size_bytes"`
+	PublishedAt string   `json:"published_at"`
+	Models      []string `json:"models"`
+}
+
+// Server is the hosted ModelHub: it stores published repositories on disk
+// and answers search/pull requests. Create one with NewServer and mount its
+// Handler on an http.Server (or httptest).
+type Server struct {
+	dir string
+	mu  sync.RWMutex
+	// index holds metadata per published name.
+	index map[string]RepoInfo
+	now   func() time.Time
+}
+
+// NewServer stores published repositories under dir.
+func NewServer(dir string) (*Server, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrHub, err)
+	}
+	s := &Server{dir: dir, index: map[string]RepoInfo{}, now: time.Now}
+	if err := s.loadIndex(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Server) indexPath() string { return filepath.Join(s.dir, "index.json") }
+
+func (s *Server) loadIndex() error {
+	blob, err := os.ReadFile(s.indexPath())
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrHub, err)
+	}
+	if err := json.Unmarshal(blob, &s.index); err != nil {
+		return fmt.Errorf("%w: corrupt index: %v", ErrHub, err)
+	}
+	return nil
+}
+
+func (s *Server) saveIndexLocked() error {
+	blob, err := json.MarshalIndent(s.index, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(s.indexPath(), blob, 0o644)
+}
+
+func (s *Server) blobPath(name string) string {
+	// Names are restricted to a safe charset by validateName.
+	return filepath.Join(s.dir, name+".tar.gz")
+}
+
+func validateName(name string) error {
+	if name == "" || len(name) > 128 {
+		return fmt.Errorf("%w: bad repository name %q", ErrHub, name)
+	}
+	for _, r := range name {
+		if !(r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' ||
+			r == '-' || r == '_' || r == '.') {
+			return fmt.Errorf("%w: bad repository name %q", ErrHub, name)
+		}
+	}
+	if strings.HasPrefix(name, ".") {
+		return fmt.Errorf("%w: bad repository name %q", ErrHub, name)
+	}
+	return nil
+}
+
+// Handler returns the HTTP API:
+//
+//	POST /api/publish?name=N   (body: tar.gz)  -> 200
+//	GET  /api/search?q=substr                  -> JSON []RepoInfo
+//	GET  /api/pull?name=N                      -> tar.gz
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/publish", s.handlePublish)
+	mux.HandleFunc("/api/search", s.handleSearch)
+	mux.HandleFunc("/api/pull", s.handlePull)
+	return mux
+}
+
+func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	name := r.URL.Query().Get("name")
+	if err := validateName(name); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, maxPublishBytes)); err != nil {
+		http.Error(w, "archive too large or unreadable: "+err.Error(), http.StatusRequestEntityTooLarge)
+		return
+	}
+	models, err := inspectRepo(buf.Bytes())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := os.WriteFile(s.blobPath(name), buf.Bytes(), 0o644); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.index[name] = RepoInfo{
+		Name:        name,
+		SizeBytes:   int64(buf.Len()),
+		PublishedAt: s.now().UTC().Format(time.RFC3339),
+		Models:      models,
+	}
+	if err := s.saveIndexLocked(); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+// inspectRepo unpacks a published archive into a temp dir and lists its
+// model names, validating the archive in the process.
+func inspectRepo(blob []byte) ([]string, error) {
+	tmp, err := os.MkdirTemp("", "hub-inspect-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmp)
+	if err := UnpackRepo(bytes.NewReader(blob), tmp); err != nil {
+		return nil, err
+	}
+	repo, err := dlv.Open(tmp)
+	if err != nil {
+		return nil, err
+	}
+	versions, err := repo.List()
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	var models []string
+	for _, v := range versions {
+		if !seen[v.Name] {
+			seen[v.Name] = true
+			models = append(models, v.Name)
+		}
+	}
+	sort.Strings(models)
+	return models, nil
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	q := strings.ToLower(r.URL.Query().Get("q"))
+	s.mu.RLock()
+	var out []RepoInfo
+	for _, info := range s.index {
+		if q == "" || strings.Contains(strings.ToLower(info.Name), q) || matchModels(info.Models, q) {
+			out = append(out, info)
+		}
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(a, b int) bool { return out[a].Name < out[b].Name })
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+func matchModels(models []string, q string) bool {
+	for _, m := range models {
+		if strings.Contains(strings.ToLower(m), q) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Server) handlePull(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	name := r.URL.Query().Get("name")
+	if err := validateName(name); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.mu.RLock()
+	_, ok := s.index[name]
+	s.mu.RUnlock()
+	if !ok {
+		http.Error(w, "unknown repository", http.StatusNotFound)
+		return
+	}
+	blob, err := os.ReadFile(s.blobPath(name))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/gzip")
+	w.Write(blob)
+}

@@ -1,0 +1,127 @@
+// Package pas implements the Parameter Archival Store (paper Sec. IV): the
+// matrix storage graph and storage plans, the co-usage-constrained plan
+// optimization algorithms (PAS-MT, PAS-PT, plus the MST / SPT bounds and the
+// LAST baseline), and the on-disk chunked store with byte-plane segmentation
+// and group (snapshot) retrieval under the independent / parallel / reusable
+// schemes.
+package pas
+
+import (
+	"errors"
+	"fmt"
+)
+
+// NodeID identifies a vertex of the matrix storage graph. Node 0 is always
+// ν0, the empty matrix; every real parameter matrix gets an id >= 1.
+type NodeID int
+
+// Root is ν0, the empty matrix every plan is rooted at.
+const Root NodeID = 0
+
+// EdgeID indexes into Graph.Edges.
+type EdgeID int
+
+// Edge is a directed storage option: with From already recreated, To can be
+// recreated by loading this edge's delta. Storage is the cost of keeping the
+// delta (compressed bytes); Recreation is the cost of loading and applying
+// it (paper Fig. 5 edge weights (cs, cr)).
+type Edge struct {
+	From, To   NodeID
+	Storage    float64
+	Recreation float64
+}
+
+// Snapshot is a co-usage group: the matrices that must be retrieved
+// together, with the recreation budget θ_i for the group.
+type Snapshot struct {
+	Name   string
+	Nodes  []NodeID
+	Budget float64 // θ_i; 0 or +Inf means unconstrained
+}
+
+// Graph is the matrix storage graph G(V, E, cs, cr) plus the snapshot
+// groups (the hyperedges that make the problem harder than prior dataset
+// versioning work).
+type Graph struct {
+	NumNodes  int // including ν0
+	Edges     []Edge
+	Snapshots []Snapshot
+}
+
+// ErrGraph reports a structurally invalid storage graph.
+var ErrGraph = errors.New("pas: invalid storage graph")
+
+// NewGraph allocates a graph with n real matrices (nodes 1..n).
+func NewGraph(numMatrices int) *Graph {
+	return &Graph{NumNodes: numMatrices + 1}
+}
+
+// AddEdge appends a directed edge and returns its id.
+func (g *Graph) AddEdge(from, to NodeID, storage, recreation float64) EdgeID {
+	g.Edges = append(g.Edges, Edge{From: from, To: to, Storage: storage, Recreation: recreation})
+	return EdgeID(len(g.Edges) - 1)
+}
+
+// AddSymmetricEdge appends both directions with identical weights (the
+// common case of symmetric delta operators) and returns the two ids.
+func (g *Graph) AddSymmetricEdge(a, b NodeID, storage, recreation float64) (EdgeID, EdgeID) {
+	return g.AddEdge(a, b, storage, recreation), g.AddEdge(b, a, storage, recreation)
+}
+
+// AddSnapshot registers a co-usage group and returns its index.
+func (g *Graph) AddSnapshot(name string, nodes []NodeID, budget float64) int {
+	g.Snapshots = append(g.Snapshots, Snapshot{Name: name, Nodes: nodes, Budget: budget})
+	return len(g.Snapshots) - 1
+}
+
+// Validate checks node ranges, edge sanity, and that every node is
+// reachable in principle (has at least one incoming edge).
+func (g *Graph) Validate() error {
+	if g.NumNodes < 1 {
+		return fmt.Errorf("%w: no nodes", ErrGraph)
+	}
+	incoming := make([]int, g.NumNodes)
+	for i, e := range g.Edges {
+		if e.From < 0 || int(e.From) >= g.NumNodes || e.To <= 0 || int(e.To) >= g.NumNodes {
+			return fmt.Errorf("%w: edge %d (%d->%d) out of range", ErrGraph, i, e.From, e.To)
+		}
+		if e.From == e.To {
+			return fmt.Errorf("%w: self edge %d on node %d", ErrGraph, i, e.From)
+		}
+		if e.Storage < 0 || e.Recreation < 0 {
+			return fmt.Errorf("%w: edge %d has negative cost", ErrGraph, i)
+		}
+		incoming[e.To]++
+	}
+	for v := 1; v < g.NumNodes; v++ {
+		if incoming[v] == 0 {
+			return fmt.Errorf("%w: node %d has no incoming edge (cannot be stored)", ErrGraph, v)
+		}
+	}
+	for si, s := range g.Snapshots {
+		for _, v := range s.Nodes {
+			if v <= 0 || int(v) >= g.NumNodes {
+				return fmt.Errorf("%w: snapshot %d references node %d", ErrGraph, si, v)
+			}
+		}
+	}
+	return nil
+}
+
+// InEdges returns, for every node, the ids of its incoming edges.
+func (g *Graph) InEdges() [][]EdgeID {
+	in := make([][]EdgeID, g.NumNodes)
+	for i, e := range g.Edges {
+		in[e.To] = append(in[e.To], EdgeID(i))
+	}
+	return in
+}
+
+// OutEdges returns, for every node, the ids of its outgoing edges.
+func (g *Graph) OutEdges() [][]EdgeID {
+	out := make([][]EdgeID, g.NumNodes)
+	for i, e := range g.Edges {
+		out[e.From] = append(out[e.From], EdgeID(i))
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package pas
+
+import "math"
+
+// LAST implements the balanced spanning tree of Khuller, Raghavachari and
+// Young ("Balancing minimum spanning trees and shortest-path trees",
+// Algorithmica 1995) — the baseline the paper compares against in Fig 6(c).
+//
+// The algorithm DFS-traverses the MST maintaining tentative distances d[].
+// On entering a vertex whose tentative distance exceeds alpha times its
+// shortest-path distance, it relaxes the entire shortest path from the root
+// to that vertex, re-parenting nodes along it. The result satisfies
+// Cr(T, v) <= alpha * Cr(SPT, v) for every node while keeping total storage
+// within (1 + 2/(alpha-1)) of the MST.
+//
+// LAST knows nothing about snapshot (co-usage) groups; that blindness is
+// exactly what the PAS algorithms fix.
+func LAST(g *Graph, alpha float64) (*Plan, error) {
+	if alpha < 1 {
+		alpha = 1
+	}
+	mst, err := MST(g)
+	if err != nil {
+		return nil, err
+	}
+	spt, err := SPT(g)
+	if err != nil {
+		return nil, err
+	}
+	sptDist := spt.NodeRecreationCosts()
+
+	plan := NewPlan(g)
+	d := make([]float64, g.NumNodes)
+	for i := range d {
+		d[i] = math.Inf(1)
+	}
+	d[Root] = 0
+
+	relax := func(eid EdgeID) {
+		e := g.Edges[eid]
+		if nd := d[e.From] + e.Recreation; nd < d[e.To] {
+			d[e.To] = nd
+			plan.ParentEdge[e.To] = eid
+		}
+	}
+	// sptPath returns the SPT edges from the root down to v, in order.
+	sptPath := func(v NodeID) []EdgeID {
+		var rev []EdgeID
+		for u := v; u != Root; u = spt.Parent(u) {
+			rev = append(rev, spt.ParentEdge[u])
+		}
+		for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+			rev[i], rev[j] = rev[j], rev[i]
+		}
+		return rev
+	}
+
+	children := make([][]NodeID, g.NumNodes)
+	for v := 1; v < g.NumNodes; v++ {
+		pa := mst.Parent(NodeID(v))
+		children[pa] = append(children[pa], NodeID(v))
+	}
+	var dfs func(v NodeID)
+	dfs = func(v NodeID) {
+		if d[v] > alpha*sptDist[v] {
+			for _, eid := range sptPath(v) {
+				relax(eid)
+			}
+		}
+		for _, c := range children[v] {
+			relax(mst.ParentEdge[c])
+			dfs(c)
+		}
+	}
+	dfs(Root)
+
+	// Every relaxation keeps d[parent] strictly below d[child], so the
+	// parent assignment is acyclic; Validate guards the invariant.
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	return plan, nil
+}

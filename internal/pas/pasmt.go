@@ -1,0 +1,166 @@
+package pas
+
+import "math"
+
+// PASMT is the paper's PAS-MT algorithm (Sec. IV-C): start from the
+// minimum-storage spanning tree and iteratively swap one parent edge at a
+// time, choosing the swap with the largest marginal gain toward the violated
+// snapshot constraints per unit of added storage (Eq. 1 for the independent
+// scheme, Eq. 2 for parallel). It returns the refined plan and whether all
+// recreation budgets ended up satisfied.
+func PASMT(g *Graph, scheme Scheme) (*Plan, bool, error) {
+	plan, err := MST(g)
+	if err != nil {
+		return nil, false, err
+	}
+	ok := refine(plan, scheme)
+	return plan, ok, nil
+}
+
+// refine applies Eq.1/Eq.2 edge swaps to plan until all snapshot budgets are
+// satisfied or no swap has positive gain. It mutates plan and reports
+// whether the final plan is feasible. It is shared by PAS-MT (whole
+// algorithm) and PAS-PT (final adjustment step).
+func refine(plan *Plan, scheme Scheme) bool {
+	g := plan.graph
+	maxIters := 2*len(g.Edges) + 16
+	for iter := 0; iter < maxIters; iter++ {
+		nodeCosts := plan.NodeRecreationCosts()
+		feasible, violated := plan.Feasible(scheme)
+		if feasible {
+			return true
+		}
+		tin, tout := eulerTour(plan)
+		isAncestor := func(a, b NodeID) bool { // a is ancestor of (or equals) b
+			return tin[a] <= tin[b] && tout[b] <= tout[a]
+		}
+		// cnt[v]: for independent — total member occurrences of violated
+		// snapshots inside subtree(v); for parallel — number of distinct
+		// violated snapshots intersecting subtree(v).
+		cnt := make([]float64, g.NumNodes)
+		for _, si := range violated {
+			seen := make(map[NodeID]bool)
+			for _, vj := range g.Snapshots[si].Nodes {
+				for u := vj; u != Root; u = plan.Parent(u) {
+					if scheme == Parallel {
+						if seen[u] {
+							break
+						}
+						seen[u] = true
+					}
+					cnt[u]++
+				}
+			}
+		}
+
+		bestGain := 0.0
+		bestEdge := EdgeID(-1)
+		bestFree := false
+		for eid := range g.Edges {
+			e := g.Edges[eid]
+			vi := e.To
+			if vi == Root || plan.ParentEdge[vi] == EdgeID(eid) {
+				continue
+			}
+			vs := e.From
+			if isAncestor(vi, vs) { // would create a cycle
+				continue
+			}
+			delta := nodeCosts[vi] - (nodeCosts[vs] + e.Recreation)
+			if delta <= 1e-12 {
+				continue // does not reduce any recreation cost
+			}
+			num := delta * cnt[vi]
+			if num <= 0 {
+				continue // no violated snapshot benefits
+			}
+			storageInc := e.Storage - g.Edges[plan.ParentEdge[vi]].Storage
+			if storageInc <= 0 {
+				// Free (or storage-reducing) improvement: always prefer,
+				// ranked by benefit.
+				if !bestFree || num > bestGain {
+					bestGain, bestEdge, bestFree = num, EdgeID(eid), true
+				}
+				continue
+			}
+			if bestFree {
+				continue
+			}
+			if gain := num / storageInc; gain > bestGain {
+				bestGain, bestEdge = gain, EdgeID(eid)
+			}
+		}
+		if bestEdge < 0 {
+			return false // stuck: constraints cannot be improved further
+		}
+		plan.ParentEdge[g.Edges[bestEdge].To] = bestEdge
+	}
+	ok, _ := plan.Feasible(scheme)
+	return ok
+}
+
+// eulerTour returns entry/exit times of a DFS over the plan tree, enabling
+// O(1) ancestor tests. Nodes without a parent edge (partial plans during
+// PAS-PT growth) are skipped; their times stay zero, which makes them
+// "ancestors of nothing and descendants of the root only".
+func eulerTour(plan *Plan) (tin, tout []int) {
+	g := plan.graph
+	children := make([][]NodeID, g.NumNodes)
+	for v := 1; v < g.NumNodes; v++ {
+		if plan.ParentEdge[v] < 0 {
+			continue
+		}
+		pa := plan.Parent(NodeID(v))
+		children[pa] = append(children[pa], NodeID(v))
+	}
+	tin = make([]int, g.NumNodes)
+	tout = make([]int, g.NumNodes)
+	clock := 0
+	// Iterative DFS to avoid recursion depth limits on chain-shaped plans.
+	type frame struct {
+		v    NodeID
+		next int
+	}
+	stack := []frame{{v: Root}}
+	tin[Root] = clock
+	clock++
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.next < len(children[f.v]) {
+			c := children[f.v][f.next]
+			f.next++
+			tin[c] = clock
+			clock++
+			stack = append(stack, frame{v: c})
+			continue
+		}
+		tout[f.v] = clock
+		clock++
+		stack = stack[:len(stack)-1]
+	}
+	return tin, tout
+}
+
+// budgetsFromScalar sets every snapshot budget to alpha times its cost under
+// the given reference plan — the α-sweep protocol of Fig 6(c):
+// Cr(T, s_i) <= α · Cr(SPT, s_i).
+func budgetsFromScalar(g *Graph, ref *Plan, scheme Scheme, alpha float64) {
+	nodeCosts := ref.NodeRecreationCosts()
+	for si := range g.Snapshots {
+		g.Snapshots[si].Budget = alpha * ref.snapshotCostWith(si, scheme, nodeCosts)
+	}
+}
+
+// SetBudgetsAlphaSPT assigns each snapshot the budget α · Cr(SPT, s_i),
+// mirroring the experimental protocol of Fig 6(c). It returns the SPT used.
+func SetBudgetsAlphaSPT(g *Graph, scheme Scheme, alpha float64) (*Plan, error) {
+	spt, err := SPT(g)
+	if err != nil {
+		return nil, err
+	}
+	budgetsFromScalar(g, spt, scheme, alpha)
+	return spt, nil
+}
+
+// infOrZero reports whether a budget is effectively unconstrained.
+func infOrZero(b float64) bool { return b <= 0 || math.IsInf(b, 1) }

@@ -1,0 +1,165 @@
+package pas
+
+import (
+	"container/heap"
+	"math"
+)
+
+// PASPT is the paper's PAS-PT algorithm (Sec. IV-C): grow the plan from ν0
+// by repeatedly taking the cheapest-storage frontier edge whose addition
+// keeps every affected snapshot's (estimated) recreation cost within budget.
+// Recreation costs of nodes not yet in the tree are estimated by a lower
+// bound (their cheapest possible incoming recreation cost). After a node
+// joins, edges from it back into the tree may re-parent existing nodes when
+// that strictly reduces storage without increasing recreation. If pruning
+// leaves nodes unattached, they are attached via their cheapest edge and the
+// plan is repaired with the Eq.1/Eq.2 adjustment loop shared with PAS-MT.
+func PASPT(g *Graph, scheme Scheme) (*Plan, bool, error) {
+	if err := g.Validate(); err != nil {
+		return nil, false, err
+	}
+	plan := NewPlan(g)
+	out := g.OutEdges()
+	in := g.InEdges()
+
+	// Lower bound on the recreation cost of any node: its cheapest incoming
+	// edge (every root path ends with some incoming edge).
+	lower := make([]float64, g.NumNodes)
+	for v := 1; v < g.NumNodes; v++ {
+		lb := math.Inf(1)
+		for _, eid := range in[v] {
+			if r := g.Edges[eid].Recreation; r < lb {
+				lb = r
+			}
+		}
+		lower[v] = lb
+	}
+
+	// snapshotsOf[v]: indexes of constrained snapshots containing v.
+	snapshotsOf := make([][]int, g.NumNodes)
+	for si, s := range g.Snapshots {
+		if infOrZero(s.Budget) {
+			continue
+		}
+		for _, v := range s.Nodes {
+			snapshotsOf[v] = append(snapshotsOf[v], si)
+		}
+	}
+
+	inTree := make([]bool, g.NumNodes)
+	inTree[Root] = true
+	cr := make([]float64, g.NumNodes) // actual recreation cost for tree nodes
+
+	// feasibleToAdd estimates the recreation cost of every constrained
+	// snapshot containing v if v joined with recreation cost crV.
+	feasibleToAdd := func(v NodeID, crV float64) bool {
+		for _, si := range snapshotsOf[v] {
+			s := g.Snapshots[si]
+			var est float64
+			for _, vk := range s.Nodes {
+				var c float64
+				switch {
+				case vk == v:
+					c = crV
+				case inTree[vk]:
+					c = cr[vk]
+				default:
+					c = lower[vk]
+				}
+				if scheme == Parallel {
+					if c > est {
+						est = c
+					}
+				} else {
+					est += c
+				}
+			}
+			if est > s.Budget+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+
+	h := &edgeHeap{key: func(id EdgeID) float64 { return g.Edges[id].Storage }}
+	for _, eid := range out[Root] {
+		h.ids = append(h.ids, eid)
+	}
+	heap.Init(h)
+	added := 1
+	for h.Len() > 0 && added < g.NumNodes {
+		eid := heap.Pop(h).(EdgeID)
+		e := g.Edges[eid]
+		if inTree[e.To] {
+			continue
+		}
+		crNew := cr[e.From] + e.Recreation
+		if !feasibleToAdd(e.To, crNew) {
+			continue // prune this storage option; another edge may admit e.To
+		}
+		vj := e.To
+		plan.ParentEdge[vj] = eid
+		cr[vj] = crNew
+		inTree[vj] = true
+		added++
+		for _, oid := range out[vj] {
+			if !inTree[g.Edges[oid].To] {
+				heap.Push(h, oid)
+			}
+		}
+		// Re-parent existing tree nodes through vj when that reduces
+		// storage without increasing their recreation cost. Ancestors of vj
+		// are excluded (cycle).
+		tin, tout := eulerTour(plan)
+		for _, oid := range out[vj] {
+			oe := g.Edges[oid]
+			vk := oe.To
+			if !inTree[vk] || vk == Root {
+				continue
+			}
+			if tin[vk] <= tin[vj] && tout[vj] <= tout[vk] { // vk is an ancestor of vj
+				continue
+			}
+			curStorage := g.Edges[plan.ParentEdge[vk]].Storage
+			newCr := cr[vj] + oe.Recreation
+			if oe.Storage < curStorage && newCr <= cr[vk]+1e-12 {
+				plan.ParentEdge[vk] = oid
+				// Recreation costs of vk's subtree only improved; refresh cr.
+				diff := cr[vk] - newCr
+				for _, d := range plan.Subtree(vk) {
+					cr[d] -= diff
+				}
+				tin, tout = eulerTour(plan)
+			}
+		}
+	}
+
+	// Attach any pruned-out nodes: repeatedly take the cheapest-storage edge
+	// from a tree node to an unattached node, then run the shared
+	// adjustment loop to repair any violated budgets.
+	for added < g.NumNodes {
+		best := EdgeID(-1)
+		bestCost := math.Inf(1)
+		for v := 1; v < g.NumNodes; v++ {
+			if inTree[v] {
+				continue
+			}
+			for _, eid := range in[v] {
+				e := g.Edges[eid]
+				if inTree[e.From] && e.Storage < bestCost {
+					best, bestCost = eid, e.Storage
+				}
+			}
+		}
+		if best < 0 {
+			return nil, false, ErrGraph // remaining nodes unreachable from ν0
+		}
+		e := g.Edges[best]
+		plan.ParentEdge[e.To] = best
+		cr[e.To] = cr[e.From] + e.Recreation
+		inTree[e.To] = true
+		added++
+	}
+	ok := refine(plan, scheme)
+	return plan, ok, nil
+}

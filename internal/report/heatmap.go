@@ -1,0 +1,108 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"modelhub/internal/tensor"
+)
+
+// WeightHeatmap renders a weight matrix as an inline SVG heatmap — the
+// "matrix plot" exploration query of the paper's Sec. IV-D, which can be
+// answered from high-order byte planes alone (pass a partially retrieved
+// matrix; its values are simply what gets plotted). Blue is negative, white
+// zero, red positive; color scales to the matrix's absolute maximum.
+// Matrices larger than maxCells are downsampled by block-averaging so the
+// SVG stays small.
+func WeightHeatmap(m *tensor.Matrix, title string) string {
+	const maxCells = 64 // per side
+	rows, cols := m.Rows(), m.Cols()
+	if rows == 0 || cols == 0 {
+		return ""
+	}
+	br := (rows + maxCells - 1) / maxCells // block height
+	bc := (cols + maxCells - 1) / maxCells // block width
+	gr := (rows + br - 1) / br             // grid rows
+	gc := (cols + bc - 1) / bc             // grid cols
+
+	grid := make([]float64, gr*gc)
+	absMax := 0.0
+	for gy := 0; gy < gr; gy++ {
+		for gx := 0; gx < gc; gx++ {
+			var sum float64
+			n := 0
+			for y := gy * br; y < (gy+1)*br && y < rows; y++ {
+				for x := gx * bc; x < (gx+1)*bc && x < cols; x++ {
+					v := float64(m.At(y, x))
+					if math.IsNaN(v) || math.IsInf(v, 0) {
+						continue
+					}
+					sum += v
+					n++
+				}
+			}
+			if n > 0 {
+				grid[gy*gc+gx] = sum / float64(n)
+			}
+			if a := math.Abs(grid[gy*gc+gx]); a > absMax {
+				absMax = a
+			}
+		}
+	}
+	if absMax == 0 {
+		absMax = 1
+	}
+
+	const cell = 8
+	width := gc*cell + 2
+	height := gr*cell + 18
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg width="%d" height="%d" viewBox="0 0 %d %d" role="img" aria-label="%s">`,
+		width, height, width, height, esc(title))
+	fmt.Fprintf(&b, `<text x="1" y="12" font-size="11" fill="#333">%s (%dx%d)</text>`,
+		esc(title), rows, cols)
+	for gy := 0; gy < gr; gy++ {
+		for gx := 0; gx < gc; gx++ {
+			v := grid[gy*gc+gx] / absMax // [-1, 1]
+			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s"/>`,
+				1+gx*cell, 16+gy*cell, cell, cell, divergingColor(v))
+		}
+	}
+	b.WriteString("</svg>")
+	return b.String()
+}
+
+// divergingColor maps [-1,1] to a blue-white-red ramp.
+func divergingColor(v float64) string {
+	if v > 1 {
+		v = 1
+	}
+	if v < -1 {
+		v = -1
+	}
+	// Interpolate from blue (38,84,171) through white to red (179,38,30).
+	var r, g, bl int
+	if v >= 0 {
+		r = 255 - int((255-179)*v)
+		g = 255 - int((255-38)*v)
+		bl = 255 - int((255-30)*v)
+	} else {
+		v = -v
+		r = 255 - int((255-38)*v)
+		g = 255 - int((255-84)*v)
+		bl = 255 - int((255-171)*v)
+	}
+	return fmt.Sprintf("#%02x%02x%02x", r, g, bl)
+}
+
+// HeatmapPage wraps one or more heatmap SVGs into a standalone HTML page.
+func HeatmapPage(title string, svgs []string) (string, error) {
+	var body strings.Builder
+	for _, svg := range svgs {
+		body.WriteString("<div>")
+		body.WriteString(svg)
+		body.WriteString("</div>")
+	}
+	return renderPage(title, body.String())
+}

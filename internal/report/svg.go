@@ -1,0 +1,90 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"modelhub/internal/dnn"
+)
+
+// lossChart renders a training log as a self-contained inline SVG line
+// chart (loss over iterations), the visual dlv desc shows for a model's
+// learning measurements.
+func lossChart(log []dnn.LogEntry, width, height int) string {
+	if len(log) == 0 {
+		return ""
+	}
+	const padL, padR, padT, padB = 46, 12, 10, 28
+	plotW := float64(width - padL - padR)
+	plotH := float64(height - padT - padB)
+
+	minIter, maxIter := log[0].Iter, log[0].Iter
+	minLoss, maxLoss := log[0].Loss, log[0].Loss
+	for _, e := range log {
+		if e.Iter < minIter {
+			minIter = e.Iter
+		}
+		if e.Iter > maxIter {
+			maxIter = e.Iter
+		}
+		if e.Loss < minLoss {
+			minLoss = e.Loss
+		}
+		if e.Loss > maxLoss {
+			maxLoss = e.Loss
+		}
+	}
+	if maxIter == minIter {
+		maxIter = minIter + 1
+	}
+	if maxLoss-minLoss < 1e-12 {
+		maxLoss = minLoss + 1
+	}
+	x := func(iter int) float64 {
+		return float64(padL) + plotW*float64(iter-minIter)/float64(maxIter-minIter)
+	}
+	y := func(loss float64) float64 {
+		return float64(padT) + plotH*(1-(loss-minLoss)/(maxLoss-minLoss))
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg width="%d" height="%d" viewBox="0 0 %d %d" role="img" aria-label="training loss">`,
+		width, height, width, height)
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#999"/>`,
+		padL, height-padB, width-padR, height-padB)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#999"/>`,
+		padL, padT, padL, height-padB)
+	// Y labels (min / max) and X labels (first / last iteration).
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="10" text-anchor="end" fill="#555">%s</text>`,
+		padL-4, padT+8, fmtLoss(maxLoss))
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="10" text-anchor="end" fill="#555">%s</text>`,
+		padL-4, height-padB, fmtLoss(minLoss))
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="10" fill="#555">%d</text>`,
+		padL, height-padB+14, minIter)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="10" text-anchor="end" fill="#555">%d</text>`,
+		width-padR, height-padB+14, maxIter)
+	// The loss polyline.
+	var pts []string
+	for _, e := range log {
+		pts = append(pts, fmt.Sprintf("%.1f,%.1f", x(e.Iter), y(e.Loss)))
+	}
+	fmt.Fprintf(&b, `<polyline fill="none" stroke="#2962ab" stroke-width="1.6" points="%s"/>`,
+		strings.Join(pts, " "))
+	// Point markers for sparse logs.
+	if len(log) <= 40 {
+		for _, e := range log {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.2" fill="#2962ab"/>`, x(e.Iter), y(e.Loss))
+		}
+	}
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+func fmtLoss(v float64) string {
+	if math.Abs(v) >= 100 || (math.Abs(v) < 0.01 && v != 0) {
+		return fmt.Sprintf("%.2g", v)
+	}
+	return fmt.Sprintf("%.3f", v)
+}

@@ -1,0 +1,137 @@
+package synth
+
+import (
+	"testing"
+
+	"modelhub/internal/dlv"
+	"modelhub/internal/pas"
+)
+
+func TestGenerateSDStructure(t *testing.T) {
+	repo, err := GenerateSD(t.TempDir(), SDConfig{
+		Versions: 4, SnapshotsPerVersion: 3, ItersPerSnapshot: 4, TrainExamples: 120, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	versions, err := repo.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(versions) != 4 {
+		t.Fatalf("versions = %d", len(versions))
+	}
+	for i, v := range versions {
+		if len(v.Snapshots) != 3 {
+			t.Fatalf("version %d snapshots = %v", v.ID, v.Snapshots)
+		}
+		if i == 0 && v.ParentID != 0 {
+			t.Fatal("base version must have no parent")
+		}
+		if i > 0 && v.ParentID == 0 {
+			t.Fatalf("derived version %d has no parent", v.ID)
+		}
+		if v.Hyper["base_lr"] == "" {
+			t.Fatal("hyperparameters missing")
+		}
+	}
+	// Training logs were recorded.
+	log, err := repo.TrainLog(versions[0].ID)
+	if err != nil || len(log) == 0 {
+		t.Fatalf("train log = %v, %v", log, err)
+	}
+}
+
+func TestGenerateSDDeterministic(t *testing.T) {
+	cfg := SDConfig{Versions: 3, SnapshotsPerVersion: 2, ItersPerSnapshot: 3, TrainExamples: 80, Seed: 7}
+	r1, err := GenerateSD(t.TempDir(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := GenerateSD(t.TempDir(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1, err := r1.Weights(1, dlv.LatestSnap, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := r2.Weights(1, dlv.LatestSnap, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, m := range w1 {
+		if !w2[name].Equal(m) {
+			t.Fatalf("SD generation not deterministic at layer %s", name)
+		}
+	}
+}
+
+// The whole point of SD: its archive must compress well via delta chains.
+func TestGenerateSDArchivesWell(t *testing.T) {
+	repo, err := GenerateSD(t.TempDir(), SDConfig{
+		Versions: 3, SnapshotsPerVersion: 3, ItersPerSnapshot: 4, TrainExamples: 120, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := repo.Archive(dlv.ArchiveOptions{Algorithm: "mst"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := store.Info()
+	if info.StorageCost >= info.SPTCost {
+		t.Fatalf("delta archive (%v) should beat materialization (%v)", info.StorageCost, info.SPTCost)
+	}
+}
+
+func TestGenerateRD(t *testing.T) {
+	g := GenerateRD(RDConfig{Snapshots: 10, MatricesPerSnapshot: 3, DeltaRatio: 0.2, Seed: 3})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes != 31 || len(g.Snapshots) != 10 {
+		t.Fatalf("graph = %d nodes, %d snapshots", g.NumNodes, len(g.Snapshots))
+	}
+	mst, err := pas.MST(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spt, err := pas.SPT(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mst.StorageCost() >= spt.StorageCost() {
+		t.Fatal("RD deltas should make MST cheaper than SPT")
+	}
+}
+
+// Delta ratio controls how much the MST wins: smaller ratio, bigger gap.
+func TestGenerateRDDeltaRatioEffect(t *testing.T) {
+	gap := func(ratio float64) float64 {
+		g := GenerateRD(RDConfig{Snapshots: 15, MatricesPerSnapshot: 3, DeltaRatio: ratio, Seed: 4})
+		mst, err := pas.MST(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spt, err := pas.SPT(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mst.StorageCost() / spt.StorageCost()
+	}
+	if gap(0.1) >= gap(0.8) {
+		t.Fatalf("lower delta ratio should compress more: %v vs %v", gap(0.1), gap(0.8))
+	}
+}
+
+func TestGenerateRDScalesWithModels(t *testing.T) {
+	small := GenerateRD(RDConfig{Snapshots: 5, MatricesPerSnapshot: 2, Seed: 5})
+	large := GenerateRD(RDConfig{Snapshots: 50, MatricesPerSnapshot: 2, Seed: 5})
+	if large.NumNodes <= small.NumNodes {
+		t.Fatal("node count must scale with snapshots")
+	}
+	if _, _, err := pas.PASMT(large, pas.Independent); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,327 @@
+package tensor
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMatrixZeroed(t *testing.T) {
+	m := NewMatrix(3, 4)
+	if m.Rows() != 3 || m.Cols() != 4 || m.Len() != 12 {
+		t.Fatalf("bad dims: %dx%d len %d", m.Rows(), m.Cols(), m.Len())
+	}
+	for i, v := range m.Data() {
+		if v != 0 {
+			t.Fatalf("element %d not zero: %v", i, v)
+		}
+	}
+}
+
+func TestNewMatrixNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative dimension")
+		}
+	}()
+	NewMatrix(-1, 2)
+}
+
+func TestFromSlice(t *testing.T) {
+	m, err := FromSlice(2, 2, []float32{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(1, 0) != 3 {
+		t.Fatalf("At(1,0) = %v, want 3", m.At(1, 0))
+	}
+	if _, err := FromSlice(2, 2, []float32{1}); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+}
+
+func TestSetAtRow(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, 7.5)
+	if m.At(1, 2) != 7.5 {
+		t.Fatalf("At(1,2) = %v", m.At(1, 2))
+	}
+	row := m.Row(1)
+	if row[2] != 7.5 {
+		t.Fatalf("Row(1)[2] = %v", row[2])
+	}
+	row[0] = 1 // views alias storage
+	if m.At(1, 0) != 1 {
+		t.Fatal("Row must be a view, not a copy")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := MustFromSlice(1, 2, []float32{1, 2})
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone must not alias original storage")
+	}
+}
+
+func TestReshape(t *testing.T) {
+	m := MustFromSlice(2, 3, []float32{1, 2, 3, 4, 5, 6})
+	r, err := m.Reshape(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.At(2, 1) != 6 {
+		t.Fatalf("reshaped At(2,1) = %v", r.At(2, 1))
+	}
+	if _, err := m.Reshape(4, 2); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+}
+
+func TestEqualBitwise(t *testing.T) {
+	nan := float32(math.NaN())
+	a := MustFromSlice(1, 2, []float32{nan, 1})
+	b := MustFromSlice(1, 2, []float32{nan, 1})
+	if !a.Equal(b) {
+		t.Fatal("bit-identical NaNs should compare equal")
+	}
+	c := MustFromSlice(2, 1, []float32{nan, 1})
+	if a.Equal(c) {
+		t.Fatal("different shapes must not be equal")
+	}
+}
+
+func TestApproxEqual(t *testing.T) {
+	a := MustFromSlice(1, 2, []float32{1, 2})
+	b := MustFromSlice(1, 2, []float32{1.0005, 2})
+	if !a.ApproxEqual(b, 1e-3) {
+		t.Fatal("should be approx equal at 1e-3")
+	}
+	if a.ApproxEqual(b, 1e-5) {
+		t.Fatal("should differ at 1e-5")
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := MustFromSlice(1, 3, []float32{1, 2, 3})
+	b := MustFromSlice(1, 3, []float32{4, 5, 6})
+	sum, err := a.Add(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MustFromSlice(1, 3, []float32{5, 7, 9})
+	if !sum.Equal(want) {
+		t.Fatalf("sum = %v", sum)
+	}
+	diff, err := b.Sub(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !diff.Equal(MustFromSlice(1, 3, []float32{3, 3, 3})) {
+		t.Fatalf("diff = %v", diff)
+	}
+	if _, err := a.Add(NewMatrix(2, 2)); !errors.Is(err, ErrShape) {
+		t.Fatal("want shape error")
+	}
+	a.Scale(2)
+	if !a.Equal(MustFromSlice(1, 3, []float32{2, 4, 6})) {
+		t.Fatalf("scaled = %v", a)
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	m := MustFromSlice(2, 3, []float32{1, 0, 2, 0, 1, -1})
+	y, err := m.MatVec([]float32{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 7 || y[1] != -1 {
+		t.Fatalf("y = %v", y)
+	}
+	if _, err := m.MatVec([]float32{1}); !errors.Is(err, ErrShape) {
+		t.Fatal("want shape error")
+	}
+}
+
+func TestMatMulAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := RandMatrix(rng, 4, 5, 1)
+	b := RandMatrix(rng, 5, 3, 1)
+	got, err := a.MatMul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NewMatrix(4, 3)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 3; j++ {
+			var s float32
+			for k := 0; k < 5; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			want.Set(i, j, s)
+		}
+	}
+	if !got.ApproxEqual(want, 1e-5) {
+		t.Fatal("MatMul disagrees with naive triple loop")
+	}
+	if _, err := a.MatMul(a); !errors.Is(err, ErrShape) {
+		t.Fatal("want shape error for incompatible matmul")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := MustFromSlice(2, 3, []float32{1, 2, 3, 4, 5, 6})
+	tr := m.Transpose()
+	if tr.Rows() != 3 || tr.Cols() != 2 || tr.At(2, 1) != 6 || tr.At(0, 1) != 4 {
+		t.Fatalf("transpose = %v", tr)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := RandMatrix(rng, 1+rng.Intn(8), 1+rng.Intn(8), 10)
+		return m.Transpose().Transpose().Equal(m)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	m := MustFromSlice(1, 5, []float32{-2, 0, 2, float32(math.NaN()), float32(math.Inf(1))})
+	s := m.ComputeStats()
+	if s.Min != -2 || s.Max != 2 {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if s.NaNs != 1 || s.Infs != 1 || s.NonZero != 2 {
+		t.Fatalf("counts = %+v", s)
+	}
+	if math.Abs(s.Mean) > 1e-9 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	if math.Abs(s.Std-math.Sqrt(8.0/3.0)) > 1e-9 {
+		t.Fatalf("std = %v", s.Std)
+	}
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	s := NewMatrix(0, 0).ComputeStats()
+	if s.Min != 0 || s.Max != 0 || s.Mean != 0 {
+		t.Fatalf("empty stats = %+v", s)
+	}
+}
+
+func TestAbsMax(t *testing.T) {
+	m := MustFromSlice(1, 3, []float32{-5, 3, float32(math.NaN())})
+	if m.AbsMax() != 5 {
+		t.Fatalf("AbsMax = %v", m.AbsMax())
+	}
+}
+
+func TestMeanAbsDiff(t *testing.T) {
+	a := MustFromSlice(1, 2, []float32{1, 2})
+	b := MustFromSlice(1, 2, []float32{2, 4})
+	d, err := a.MeanAbsDiff(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 1.5 {
+		t.Fatalf("MeanAbsDiff = %v", d)
+	}
+	if _, err := a.MeanAbsDiff(NewMatrix(2, 2)); !errors.Is(err, ErrShape) {
+		t.Fatal("want shape error")
+	}
+}
+
+func TestXavierInitBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := XavierInit(rng, 10, 10, 100, 100)
+	limit := float32(math.Sqrt(6.0 / 200.0))
+	for _, v := range m.Data() {
+		if v < -limit || v > limit {
+			t.Fatalf("value %v outside xavier bound %v", v, limit)
+		}
+	}
+}
+
+func TestPerturbChangesCopyOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := RandMatrix(rng, 4, 4, 1)
+	orig := m.Clone()
+	p := m.Perturb(rng, 0.1)
+	if !m.Equal(orig) {
+		t.Fatal("Perturb must not mutate the receiver")
+	}
+	if p.Equal(m) {
+		t.Fatal("Perturb should change values")
+	}
+}
+
+func TestMatrixSerializationRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := RandMatrix(rng, 7, 5, 3)
+	var buf bytes.Buffer
+	n, err := m.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, buffer has %d", n, buf.Len())
+	}
+	got, err := ReadMatrix(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestReadMatrixBadMagic(t *testing.T) {
+	if _, err := ReadMatrix(bytes.NewReader(make([]byte, 12))); err == nil {
+		t.Fatal("expected error for bad magic")
+	}
+}
+
+func TestReadMatrixTruncated(t *testing.T) {
+	m := NewMatrix(4, 4)
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-3]
+	if _, err := ReadMatrix(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("expected error for truncated body")
+	}
+}
+
+func TestBytesRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := RandNormal(rng, 1+rng.Intn(6), 1+rng.Intn(6), 2)
+		got, err := FromBytes(m.Rows(), m.Cols(), m.Bytes())
+		return err == nil && got.Equal(m)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromBytesBadLength(t *testing.T) {
+	if _, err := FromBytes(2, 2, make([]byte, 7)); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+}
+
+func TestRandMatrixDeterministic(t *testing.T) {
+	a := RandMatrix(rand.New(rand.NewSource(42)), 3, 3, 1)
+	b := RandMatrix(rand.New(rand.NewSource(42)), 3, 3, 1)
+	if !a.Equal(b) {
+		t.Fatal("same seed must produce identical matrices")
+	}
+}

@@ -1,0 +1,45 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RandMatrix returns a rows x cols matrix with elements drawn uniformly from
+// [-scale, scale) using rng. All randomness in the repository flows through
+// explicit *rand.Rand instances so experiments are reproducible.
+func RandMatrix(rng *rand.Rand, rows, cols int, scale float32) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.data {
+		m.data[i] = (rng.Float32()*2 - 1) * scale
+	}
+	return m
+}
+
+// RandNormal returns a matrix with elements drawn from N(0, std²).
+func RandNormal(rng *rand.Rand, rows, cols int, std float64) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.data {
+		m.data[i] = float32(rng.NormFloat64() * std)
+	}
+	return m
+}
+
+// XavierInit returns a matrix initialized with the Glorot/Xavier uniform
+// scheme for a layer with fanIn inputs and fanOut outputs, the standard
+// initialization for the DNN substrate.
+func XavierInit(rng *rand.Rand, rows, cols, fanIn, fanOut int) *Matrix {
+	limit := float32(math.Sqrt(6.0 / float64(fanIn+fanOut)))
+	return RandMatrix(rng, rows, cols, limit)
+}
+
+// Perturb returns a copy of m with N(0, std²) noise added to every element.
+// It is used by the synthetic repository generator to mimic checkpoint and
+// fine-tuning drift without full retraining.
+func (m *Matrix) Perturb(rng *rand.Rand, std float64) *Matrix {
+	out := m.Clone()
+	for i := range out.data {
+		out.data[i] += float32(rng.NormFloat64() * std)
+	}
+	return out
+}

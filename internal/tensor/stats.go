@@ -1,0 +1,95 @@
+package tensor
+
+import "math"
+
+// Stats summarizes the value distribution of a matrix. It is used by the
+// lossy float encodings (which need min/max and exponent ranges) and by
+// dlv desc / dlv diff.
+type Stats struct {
+	Min, Max   float32
+	Mean, Std  float64
+	L2         float64 // Frobenius norm
+	NonZero    int
+	NaNs, Infs int
+}
+
+// ComputeStats scans the matrix once and returns its Stats. NaN and Inf
+// elements are counted but excluded from Min/Max/Mean/Std/L2.
+func (m *Matrix) ComputeStats() Stats {
+	s := Stats{Min: float32(math.Inf(1)), Max: float32(math.Inf(-1))}
+	var sum, sumsq float64
+	n := 0
+	for _, v := range m.data {
+		switch {
+		case math.IsNaN(float64(v)):
+			s.NaNs++
+			continue
+		case math.IsInf(float64(v), 0):
+			s.Infs++
+			continue
+		}
+		if v != 0 {
+			s.NonZero++
+		}
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+		f := float64(v)
+		sum += f
+		sumsq += f * f
+		n++
+	}
+	if n == 0 {
+		s.Min, s.Max = 0, 0
+		return s
+	}
+	s.Mean = sum / float64(n)
+	s.L2 = math.Sqrt(sumsq)
+	variance := sumsq/float64(n) - s.Mean*s.Mean
+	if variance < 0 {
+		variance = 0
+	}
+	s.Std = math.Sqrt(variance)
+	return s
+}
+
+// AbsMax returns the largest absolute finite value in the matrix, or 0 for
+// an empty or all-non-finite matrix.
+func (m *Matrix) AbsMax() float32 {
+	var mx float32
+	for _, v := range m.data {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			continue
+		}
+		if v < 0 {
+			v = -v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	return mx
+}
+
+// MeanAbsDiff returns the mean absolute elementwise difference between m and
+// o, a cheap similarity measure used by dlv diff and the delta selector.
+func (m *Matrix) MeanAbsDiff(o *Matrix) (float64, error) {
+	if !m.SameShape(o) {
+		return 0, ErrShape
+	}
+	if len(m.data) == 0 {
+		return 0, nil
+	}
+	var sum float64
+	for i, v := range m.data {
+		d := float64(v - o.data[i])
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	return sum / float64(len(m.data)), nil
+}
