@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build vet test test-race bench check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detect the packages with real concurrency: the PAS retrieval engine
+# and the training/inference runtime it feeds.
+test-race:
+	$(GO) test -race ./internal/pas/... ./internal/dnn/...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+check: build vet test test-race

@@ -326,7 +326,7 @@ func BenchmarkTable5Retrieval(b *testing.B) {
 			if plan != "pas" && q.prefix != 4 {
 				continue // partial retrieval is the PAS feature under test
 			}
-			for _, scheme := range []pas.Scheme{pas.Independent, pas.Parallel} {
+			for _, scheme := range []pas.Scheme{pas.Independent, pas.Parallel, pas.Reusable, pas.Concurrent} {
 				name := fmt.Sprintf("%s/%s/%s", plan, q.label, scheme)
 				b.Run(name, func(b *testing.B) {
 					snaps := st.Snapshots()
@@ -338,6 +338,61 @@ func BenchmarkTable5Retrieval(b *testing.B) {
 					}
 				})
 			}
+		}
+	}
+}
+
+// Retrieval-scheme shootout on a wider snapshot (many matrices per
+// checkpoint), where dedup of shared chain prefixes and the persistent
+// plane cache separate the schemes. Cold runs reopen the store each
+// iteration; warm runs reuse one store so Reusable/Concurrent caches carry
+// across iterations.
+func BenchmarkRetrievalSchemes(b *testing.B) {
+	rng := rand.New(rand.NewSource(29))
+	base := map[string]*tensor.Matrix{}
+	for m := 0; m < 8; m++ {
+		base[fmt.Sprintf("layer%d", m)] = tensor.RandNormal(rng, 48, 160, 0.1)
+	}
+	var snaps []pas.SnapshotIn
+	cur := base
+	for i := 0; i < 8; i++ {
+		snap := pas.SnapshotIn{ID: fmt.Sprintf("s%d", i), Matrices: map[string]*tensor.Matrix{}}
+		for name, m := range cur {
+			snap.Matrices[name] = m.Perturb(rng, 1e-3)
+		}
+		snaps = append(snaps, snap)
+		cur = snap.Matrices
+	}
+	dir, err := os.MkdirTemp("", "bench-retr-*")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { os.RemoveAll(dir) })
+	if _, err := pas.Create(dir, snaps, pas.Options{Algorithm: "mst"}); err != nil {
+		b.Fatal(err)
+	}
+	last := snaps[len(snaps)-1].ID
+	for _, scheme := range []pas.Scheme{pas.Independent, pas.Parallel, pas.Reusable, pas.Concurrent} {
+		for _, mode := range []string{"cold", "warm"} {
+			b.Run(fmt.Sprintf("%s/%s", scheme, mode), func(b *testing.B) {
+				st, err := pas.Open(dir)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if mode == "cold" {
+						b.StopTimer()
+						if st, err = pas.Open(dir); err != nil {
+							b.Fatal(err)
+						}
+						b.StartTimer()
+					}
+					if _, err := st.GetSnapshot(last, 4, scheme); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
 	}
 }

@@ -12,7 +12,7 @@
 //	dlv list    [-html FILE]
 //	dlv desc    -v ID [-html FILE]
 //	dlv diff    -a ID -b ID [-html FILE]
-//	dlv archive [-algo pas-mt|pas-pt|mst|spt|last|best] [-alpha F] [-purge]
+//	dlv archive [-algo pas-mt|pas-pt|mst|spt|last|best] [-alpha F] [-scheme NAME] [-purge]
 //	dlv eval    -v ID [-snap LABEL] [-prefix 1..4] [-progressive [-topk K]]
 //	dlv plot    -v ID [-layer NAME] [-prefix 1..4] -o weights.html
 //	dlv query   'select m where ...'
@@ -279,6 +279,8 @@ func run(cmd string, args []string) error {
 		algo := fs.String("algo", "pas-mt", "plan algorithm: pas-mt pas-pt mst spt last best")
 		alpha := fs.Float64("alpha", 2.0, "recreation budget scalar (x SPT cost)")
 		parallel := fs.Bool("parallel", false, "optimize for the parallel retrieval scheme")
+		schemeName := fs.String("scheme", "",
+			"retrieval scheme budgets are evaluated under: independent parallel reusable concurrent (overrides -parallel)")
 		purge := fs.Bool("purge", false, "delete raw weights after archiving")
 		ckptScheme := fs.String("checkpoint-scheme", "",
 			"lossy float scheme for checkpoint (non-latest) snapshots: float16 bfloat16 fixed-N quant-N")
@@ -292,6 +294,12 @@ func run(cmd string, args []string) error {
 		scheme := pas.Independent
 		if *parallel {
 			scheme = pas.Parallel
+		}
+		if *schemeName != "" {
+			var err error
+			if scheme, err = pas.ParseScheme(*schemeName); err != nil {
+				return err
+			}
 		}
 		opts := dlv.ArchiveOptions{
 			Algorithm: *algo, Scheme: scheme, Alpha: *alpha, Purge: *purge,

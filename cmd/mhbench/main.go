@@ -6,7 +6,7 @@
 // Usage:
 //
 //	mhbench -exp all            # every experiment
-//	mhbench -exp fig6a          # one of: tab1 fig6a fig6b fig6c fig6d tab4 tab5 ablations
+//	mhbench -exp fig6a          # one of: tab1 fig6a fig6b fig6c fig6d tab4 tab5 retrieval ablations
 //	mhbench -exp fig6c -scale 3 # scale up the synthetic workloads
 package main
 
@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all tab1 fig6a fig6b fig6c fig6d tab4 tab5 scale ablations")
+	exp := flag.String("exp", "all", "experiment: all tab1 fig6a fig6b fig6c fig6d tab4 tab5 retrieval scale ablations")
 	scale := flag.Int("scale", 1, "workload scale multiplier for synthetic experiments")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
@@ -132,6 +132,17 @@ func main() {
 			return err
 		}
 		experiments.PrintTable5(os.Stdout, rows)
+		return nil
+	})
+
+	run("retrieval", func() error {
+		rows, err := experiments.RunRetrieval(experiments.RetrievalConfig{
+			Snapshots: 8 * *scale, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+		experiments.PrintRetrieval(os.Stdout, rows)
 		return nil
 	})
 

@@ -67,9 +67,13 @@ func (r *Repo) EvalProgressiveTopK(versionID int64, snap string, examples []dnn.
 	if err != nil {
 		return nil, err
 	}
-	src := perturb.SourceFunc(func(layer string, prefix int) (*tensor.Matrix, *tensor.Matrix, error) {
+	// Fetch all layers of a prefix concurrently (PrefetchSource) on top of
+	// the archive's concurrent retrieval engine; results cache across the
+	// whole example batch, so each (layer, prefix) hits the store once.
+	base := perturb.SourceFunc(func(layer string, prefix int) (*tensor.Matrix, *tensor.Matrix, error) {
 		return r.WeightIntervals(versionID, snap, layer, prefix)
 	})
+	src := perturb.NewPrefetchSource(base, perturb.ParametricNames(v.NetDef), 0)
 	res := &ProgressiveEvalResult{}
 	correct := 0
 	for _, ex := range examples {

@@ -15,9 +15,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"modelhub/internal/catalog"
+	"modelhub/internal/pas"
 )
 
 // Directory layout inside a repository root.
@@ -38,6 +40,12 @@ type Repo struct {
 	db   *catalog.DB
 	// now is the clock, replaceable in tests.
 	now func() time.Time
+
+	// pasMu guards pasStore, the memoized opened archive. Keeping one
+	// *pas.Store per Repo lets the concurrent retrieval engine's plane LRU
+	// persist across Weights/WeightIntervals calls.
+	pasMu    sync.Mutex
+	pasStore *pas.Store
 }
 
 // Init creates a new repository in root (which must exist).

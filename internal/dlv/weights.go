@@ -150,6 +150,7 @@ func (r *Repo) Archive(opts ArchiveOptions) (*pas.Store, error) {
 	if err := r.db.Save(); err != nil {
 		return nil, err
 	}
+	r.setArchive(store)
 	return store, nil
 }
 
@@ -173,13 +174,35 @@ func degradeSnapshot(w map[string]*tensor.Matrix, scheme floatenc.Scheme) (map[s
 
 func (r *Repo) pasPath() string { return filepath.Join(r.root, dlvDir, pasDir) }
 
-// openArchive returns the PAS store if the repo has been archived.
+// openArchive returns the PAS store if the repo has been archived. The store
+// is memoized on the Repo so the concurrent retrieval engine's decoded-plane
+// LRU persists across Weights/WeightIntervals calls.
 func (r *Repo) openArchive() (*pas.Store, error) {
-	return pas.Open(r.pasPath())
+	r.pasMu.Lock()
+	defer r.pasMu.Unlock()
+	if r.pasStore != nil {
+		return r.pasStore, nil
+	}
+	store, err := pas.Open(r.pasPath())
+	if err != nil {
+		return nil, err
+	}
+	r.pasStore = store
+	return store, nil
 }
 
-// Weights loads a snapshot's weight matrices. prefix selects the byte-plane
-// resolution (4 = exact); raw (unarchived) snapshots only support prefix 4.
+// setArchive replaces the memoized store after a re-archive, dropping any
+// caches keyed against the old plan.
+func (r *Repo) setArchive(store *pas.Store) {
+	r.pasMu.Lock()
+	r.pasStore = store
+	r.pasMu.Unlock()
+}
+
+// Weights loads a snapshot's weight matrices via the concurrent retrieval
+// engine (checkout is the hot path PAS is read-optimized for). prefix
+// selects the byte-plane resolution (4 = exact); raw (unarchived) snapshots
+// only support prefix 4.
 func (r *Repo) Weights(versionID int64, snap string, prefix int) (map[string]*tensor.Matrix, error) {
 	v, err := r.Version(versionID)
 	if err != nil {
@@ -190,7 +213,7 @@ func (r *Repo) Weights(versionID int64, snap string, prefix int) (map[string]*te
 		if err != nil {
 			return nil, err
 		}
-		return store.GetSnapshot(pasSnapID(versionID, snap), prefix, pas.Independent)
+		return store.GetSnapshot(pasSnapID(versionID, snap), prefix, pas.Concurrent)
 	}
 	if prefix != 4 {
 		return nil, fmt.Errorf("%w: version %d is not archived; only full-precision weights available", ErrRepo, versionID)
@@ -200,10 +223,13 @@ func (r *Repo) Weights(versionID int64, snap string, prefix int) (map[string]*te
 
 // WeightIntervals returns lo/hi bounds of one layer's weights at a given
 // byte-plane prefix, serving progressive evaluation over archived models.
+// Reads go through the concurrent engine, whose (node, prefix) LRU pays off
+// exactly here: progressive evaluation revisits the same chains at
+// escalating prefixes.
 func (r *Repo) WeightIntervals(versionID int64, snap, layer string, prefix int) (lo, hi *tensor.Matrix, err error) {
 	store, err := r.openArchive()
 	if err != nil {
 		return nil, nil, err
 	}
-	return store.GetIntervals(pas.MatrixRef{Snapshot: pasSnapID(versionID, snap), Name: layer}, prefix)
+	return store.GetIntervalsConcurrent(pas.MatrixRef{Snapshot: pasSnapID(versionID, snap), Name: layer}, prefix)
 }

@@ -19,6 +19,8 @@ type Tab5Row struct {
 	Query       string // "full", "2 bytes", "1 byte"
 	Independent time.Duration
 	Parallel    time.Duration
+	Reusable    time.Duration
+	Concurrent  time.Duration
 }
 
 // Tab5Config sizes the experiment.
@@ -97,8 +99,17 @@ func RunTable5(dir string, cfg Tab5Config) ([]Tab5Row, error) {
 			if err != nil {
 				return nil, err
 			}
+			reuse, err := timeRetrieval(store, versions, q.prefix, pas.Reusable)
+			if err != nil {
+				return nil, err
+			}
+			conc, err := timeRetrieval(store, versions, q.prefix, pas.Concurrent)
+			if err != nil {
+				return nil, err
+			}
 			rows = append(rows, Tab5Row{
-				Plan: p.label, Query: q.label, Independent: indep, Parallel: par,
+				Plan: p.label, Query: q.label,
+				Independent: indep, Parallel: par, Reusable: reuse, Concurrent: conc,
 			})
 		}
 	}
@@ -122,9 +133,11 @@ func timeRetrieval(store *pas.Store, versions []*dlv.Version, prefix int, scheme
 // PrintTable5 renders the recreation-performance comparison.
 func PrintTable5(w io.Writer, rows []Tab5Row) {
 	fprintf(w, "Table V: recreation performance comparison of storage plans (avg per snapshot)\n")
-	fprintf(w, "%-18s %-10s %14s %14s\n", "STORAGE PLAN", "QUERY", "INDEPENDENT", "PARALLEL")
+	fprintf(w, "%-18s %-10s %14s %14s %14s %14s\n",
+		"STORAGE PLAN", "QUERY", "INDEPENDENT", "PARALLEL", "REUSABLE", "CONCURRENT")
 	for _, r := range rows {
-		fprintf(w, "%-18s %-10s %14s %14s\n", r.Plan, r.Query,
-			r.Independent.Round(time.Microsecond), r.Parallel.Round(time.Microsecond))
+		fprintf(w, "%-18s %-10s %14s %14s %14s %14s\n", r.Plan, r.Query,
+			r.Independent.Round(time.Microsecond), r.Parallel.Round(time.Microsecond),
+			r.Reusable.Round(time.Microsecond), r.Concurrent.Round(time.Microsecond))
 	}
 }

@@ -1,0 +1,327 @@
+package pas
+
+import (
+	"container/list"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"modelhub/internal/delta"
+	"modelhub/internal/floatenc"
+	"modelhub/internal/tensor"
+)
+
+// Concurrent retrieval engine (the Concurrent scheme): a snapshot's delta
+// chains form a DAG of node-resolution tasks — each node depends only on its
+// parent — scheduled over a bounded worker pool. Three mechanisms make it a
+// parallel generalization of the Reusable scheme:
+//
+//   - single-flight deduplication: when two chains share a prefix, the first
+//     goroutine to reach a (node, prefix) becomes its leader and decodes it;
+//     every other goroutine blocks on the leader's result, so each distinct
+//     chain edge is decoded exactly once per retrieval wave;
+//   - a bounded LRU of decoded planes keyed by (node, prefix) that persists
+//     across GetSnapshot / GetMatrixConcurrent / GetIntervalsConcurrent
+//     calls on the same Store, so checkout and progressive-evaluation
+//     workloads that revisit nearby snapshots skip whole chain prefixes;
+//   - parallel per-plane chunk inflate: the up-to-four zlib planes of one
+//     chunk decompress concurrently.
+//
+// Waiters always block on strict ancestors in the plan tree (chains are
+// cycle-checked by chainOf), and leaders never need a pool slot beyond their
+// own, so the scheme cannot deadlock.
+
+// DefaultPlaneCacheBytes bounds the decoded-plane LRU of a freshly opened
+// store. Each entry holds up to prefix × rows × cols bytes.
+const DefaultPlaneCacheBytes = 256 << 20
+
+// flight is one in-progress (node, prefix) resolution; waiters block on done.
+type flight struct {
+	done   chan struct{}
+	planes *[4][]byte
+	err    error
+}
+
+// engine holds the Concurrent scheme's shared state.
+type engine struct {
+	workers atomic.Int64
+
+	fmu     sync.Mutex
+	flights map[planeKey]*flight
+
+	lru planeLRU
+}
+
+func newEngine() *engine {
+	e := &engine{flights: make(map[planeKey]*flight)}
+	e.workers.Store(int64(runtime.GOMAXPROCS(0)))
+	e.lru.limit = DefaultPlaneCacheBytes
+	return e
+}
+
+// SetConcurrency sets the worker-pool width used by the Concurrent scheme
+// (default: GOMAXPROCS). Values < 1 reset to GOMAXPROCS.
+func (s *Store) SetConcurrency(workers int) {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s.eng.workers.Store(int64(workers))
+}
+
+// SetPlaneCacheBytes bounds the Concurrent scheme's decoded-plane LRU
+// (default DefaultPlaneCacheBytes). 0 disables caching entirely.
+func (s *Store) SetPlaneCacheBytes(limit int64) {
+	s.eng.lru.setLimit(limit)
+}
+
+// planeLRU is a byte-bounded LRU of decoded plane sets keyed by
+// (node, prefix). Entries are shared read-only: resolvers XOR parents into
+// freshly allocated child planes, never into cached ones.
+type planeLRU struct {
+	mu    sync.Mutex
+	limit int64
+	size  int64
+	ll    list.List // front = most recently used; values are *lruEntry
+	items map[planeKey]*list.Element
+}
+
+type lruEntry struct {
+	key    planeKey
+	planes *[4][]byte
+	bytes  int64
+}
+
+func (c *planeLRU) setLimit(limit int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.limit = limit
+	c.evictLocked()
+}
+
+func (c *planeLRU) get(k planeKey) (*[4][]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).planes, true
+}
+
+func (c *planeLRU) add(k planeKey, planes *[4][]byte) {
+	var bytes int64
+	for _, p := range planes {
+		bytes += int64(len(p))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.limit <= 0 || bytes > c.limit {
+		return
+	}
+	if el, ok := c.items[k]; ok {
+		c.ll.MoveToFront(el)
+		return
+	}
+	if c.items == nil {
+		c.items = make(map[planeKey]*list.Element)
+	}
+	c.items[k] = c.ll.PushFront(&lruEntry{key: k, planes: planes, bytes: bytes})
+	c.size += bytes
+	c.evictLocked()
+}
+
+func (c *planeLRU) evictLocked() {
+	for c.size > c.limit {
+		el := c.ll.Back()
+		if el == nil {
+			return
+		}
+		ent := el.Value.(*lruEntry)
+		c.ll.Remove(el)
+		delete(c.items, ent.key)
+		c.size -= ent.bytes
+	}
+}
+
+// readPlanesParallel is readPlanes with the stored planes inflated
+// concurrently — one goroutine per zlib chunk when more than one plane is
+// needed.
+func (s *Store) readPlanesParallel(n *manifestNode, prefix int) (*[4][]byte, error) {
+	var planes [4][]byte
+	size := n.Rows * n.Cols
+	start, end := nodePlanes(n)
+	var stored []int
+	for p := 0; p < floatenc.NumPlanes; p++ {
+		if p >= prefix || p < start || p >= end {
+			planes[p] = make([]byte, size)
+			continue
+		}
+		stored = append(stored, p)
+	}
+	if len(stored) <= 1 || s.eng.workers.Load() <= 1 {
+		for _, p := range stored {
+			raw, err := s.readPlane(n, p)
+			if err != nil {
+				return nil, err
+			}
+			planes[p] = raw
+		}
+		return &planes, nil
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(stored))
+	for i, p := range stored {
+		wg.Add(1)
+		go func(i, p int) {
+			defer wg.Done()
+			planes[p], errs[i] = s.readPlane(n, p)
+		}(i, p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &planes, nil
+}
+
+// resolvePlanesConcurrent resolves node id's matrix planes at the given
+// prefix through the engine: an iterative root-ward chain walk where every
+// (node, prefix) step goes through the LRU and single-flight deduplication.
+func (s *Store) resolvePlanesConcurrent(id, prefix int) (*[4][]byte, error) {
+	chain, err := s.chainOf(id)
+	if err != nil {
+		return nil, err
+	}
+	var parent *[4][]byte
+	var pn *manifestNode
+	for i := len(chain) - 1; i >= 0; i-- {
+		n, err := s.node(chain[i])
+		if err != nil {
+			return nil, err
+		}
+		planes, err := s.resolveOneConcurrent(n, prefix, parent, pn)
+		if err != nil {
+			return nil, err
+		}
+		parent, pn = planes, n
+	}
+	return parent, nil
+}
+
+// resolveOneConcurrent produces the matrix planes of one node given its
+// already-resolved parent planes, deduplicating work across goroutines.
+func (s *Store) resolveOneConcurrent(n *manifestNode, prefix int, parent *[4][]byte, pn *manifestNode) (*[4][]byte, error) {
+	k := planeKey{n.ID, prefix}
+	if planes, ok := s.eng.lru.get(k); ok {
+		return planes, nil
+	}
+	s.eng.fmu.Lock()
+	if f, ok := s.eng.flights[k]; ok {
+		s.eng.fmu.Unlock()
+		<-f.done
+		return f.planes, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	s.eng.flights[k] = f
+	s.eng.fmu.Unlock()
+
+	f.planes, f.err = s.decodeNode(n, prefix, parent, pn)
+	if f.err == nil {
+		s.eng.lru.add(k, f.planes)
+	}
+	s.eng.fmu.Lock()
+	delete(s.eng.flights, k)
+	s.eng.fmu.Unlock()
+	close(f.done)
+	return f.planes, f.err
+}
+
+// decodeNode reads a node's chunk planes and composes them with the parent's
+// resolved planes (XOR composes exactly per byte plane).
+func (s *Store) decodeNode(n *manifestNode, prefix int, parent *[4][]byte, pn *manifestNode) (*[4][]byte, error) {
+	planes, err := s.readPlanesParallel(n, prefix)
+	if err != nil {
+		return nil, err
+	}
+	if n.Parent != 0 {
+		start, end := nodePlanes(n)
+		for p := start; p < end && p < prefix; p++ {
+			xorResized(planes[p], parent[p], n.Rows, n.Cols, pn.Rows, pn.Cols)
+		}
+	}
+	return planes, nil
+}
+
+// getSnapshotConcurrent retrieves a snapshot's matrices with one resolution
+// task per matrix, gated by the worker pool. Non-XOR (IntSub) archives fall
+// back to full-precision chain resolution per matrix inside the same pool.
+func (s *Store) getSnapshotConcurrent(snapshot string, names []string, prefix int) (map[string]*tensor.Matrix, error) {
+	workers := int(s.eng.workers.Load())
+	if workers < 1 {
+		workers = 1
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	mats := make([]*tensor.Matrix, len(names))
+	errs := make([]error, len(names))
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			mats[i], errs[i] = s.getMatrixConcurrentRef(MatrixRef{Snapshot: snapshot, Name: name}, prefix)
+		}(i, name)
+	}
+	wg.Wait()
+	out := make(map[string]*tensor.Matrix, len(names))
+	for i, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+		out[names[i]] = mats[i]
+	}
+	return out, nil
+}
+
+// getMatrixConcurrentRef resolves one matrix through the engine.
+func (s *Store) getMatrixConcurrentRef(ref MatrixRef, prefix int) (*tensor.Matrix, error) {
+	if s.man.DeltaOp != uint8(delta.XOR) {
+		return s.getMatrixRef(ref, prefix, false)
+	}
+	planes, rows, cols, err := s.resolveRefWith(ref, prefix, s.resolvePlanesConcurrent)
+	if err != nil {
+		return nil, err
+	}
+	seg := &floatenc.Segmented{Rows: rows, Cols: cols, Planes: *planes}
+	if prefix >= floatenc.NumPlanes {
+		return seg.Reconstruct()
+	}
+	return seg.Truncated(prefix)
+}
+
+// GetMatrixConcurrent retrieves one matrix through the concurrent engine,
+// sharing its persistent plane LRU with snapshot-level retrievals. Semantics
+// match GetMatrix: prefix 4 is bit-exact, smaller prefixes zero-fill the
+// low-order bytes.
+func (s *Store) GetMatrixConcurrent(ref MatrixRef, prefix int) (*tensor.Matrix, error) {
+	return s.getMatrixConcurrentRef(ref, prefix)
+}
+
+// GetIntervalsConcurrent is GetIntervals through the concurrent engine — the
+// progressive-evaluation hot path, which re-reads the same chains at
+// escalating prefixes and so benefits most from the (node, prefix) LRU.
+func (s *Store) GetIntervalsConcurrent(ref MatrixRef, prefix int) (lo, hi *tensor.Matrix, err error) {
+	if s.man.DeltaOp != uint8(delta.XOR) {
+		return s.GetIntervals(ref, prefix)
+	}
+	planes, rows, cols, err := s.resolveRefWith(ref, prefix, s.resolvePlanesConcurrent)
+	if err != nil {
+		return nil, nil, err
+	}
+	seg := &floatenc.Segmented{Rows: rows, Cols: cols, Planes: *planes}
+	return seg.Intervals(prefix)
+}

@@ -19,6 +19,13 @@ const (
 	// cost of the distinct edges on the union of root paths (the Steiner
 	// tree of the group inside the plan tree).
 	Reusable
+	// Concurrent resolves the group's delta chains as a DAG of
+	// node-resolution tasks over a worker pool with single-flight
+	// deduplication — a parallel generalization of Reusable: every distinct
+	// edge is decoded exactly once, and independent chains decode
+	// concurrently. Its cost model equals Reusable's (the deduplicated total
+	// work); the worker pool only shrinks wall clock, never the work.
+	Concurrent
 )
 
 // String names the scheme.
@@ -30,9 +37,22 @@ func (s Scheme) String() string {
 		return "parallel"
 	case Reusable:
 		return "reusable"
+	case Concurrent:
+		return "concurrent"
 	default:
 		return fmt.Sprintf("Scheme(%d)", int(s))
 	}
+}
+
+// ParseScheme resolves a scheme name ("independent", "parallel", "reusable",
+// "concurrent") as spelled by String.
+func ParseScheme(name string) (Scheme, error) {
+	for _, s := range []Scheme{Independent, Parallel, Reusable, Concurrent} {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("pas: unknown retrieval scheme %q", name)
 }
 
 // Plan is a matrix storage plan: a spanning arborescence of the storage
@@ -171,8 +191,9 @@ func (p *Plan) snapshotCostWith(si int, scheme Scheme, nodeCosts []float64) floa
 			}
 		}
 		return mx
-	case Reusable:
+	case Reusable, Concurrent:
 		// Union of root paths inside the tree == Steiner tree of the group.
+		// Concurrent dedups identically; workers change wall clock, not work.
 		seen := make(map[EdgeID]bool)
 		total := 0.0
 		for _, v := range s.Nodes {

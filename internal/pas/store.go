@@ -46,7 +46,9 @@ type Options struct {
 	// the only operator that composes exactly per byte plane, which partial
 	// (prefix < 4) retrieval requires.
 	DeltaOp delta.Op
-	// ZlibLevel for chunk compression; defaults to 6 like the paper.
+	// ZlibLevel for chunk compression; 0 means "unset" and defaults to 6
+	// like the paper. Pass ExplicitZero (-1) to request actual zlib level 0
+	// (stored, uncompressed deflate blocks).
 	ZlibLevel int
 	// ExtraPairs adds candidate delta edges beyond the default same-name
 	// adjacent-snapshot pairs (e.g. across fine-tuned model versions).
@@ -54,7 +56,9 @@ type Options struct {
 	// NoDefaultPairs disables the adjacent-snapshot pairing so the caller
 	// (e.g. DLV, which knows version boundaries) controls candidates fully.
 	NoDefaultPairs bool
-	// LASTAlpha is the node-level balance parameter when Algorithm=="last".
+	// LASTAlpha is the node-level balance parameter when Algorithm=="last";
+	// 0 means "unset" and defaults to max(Alpha, 1). Pass ExplicitZero (-1)
+	// to request an actual α=0 (which LAST clamps to its minimum of 1).
 	LASTAlpha float64
 	// PlaneGranularity makes storage-plan decisions at the level of byte
 	// segments (paper Sec. IV-C: "PAS is able to make decisions at the
@@ -90,6 +94,11 @@ const (
 	tierRemote = 1
 )
 
+// ExplicitZero is the sentinel for Options fields whose zero value means
+// "unset, use the default": pass it to request an actual 0 (e.g.
+// Options.ZlibLevel = ExplicitZero selects zlib level 0, store-only).
+const ExplicitZero = -1
+
 func (o Options) withDefaults() Options {
 	if o.Algorithm == "" {
 		o.Algorithm = "pas-mt"
@@ -97,11 +106,17 @@ func (o Options) withDefaults() Options {
 	if o.DeltaOp == delta.None {
 		o.DeltaOp = delta.XOR
 	}
-	if o.ZlibLevel == 0 {
+	switch o.ZlibLevel {
+	case 0:
 		o.ZlibLevel = floatenc.DefaultZlibLevel
+	case ExplicitZero:
+		o.ZlibLevel = 0
 	}
-	if o.LASTAlpha == 0 {
+	switch o.LASTAlpha {
+	case 0:
 		o.LASTAlpha = math.Max(o.Alpha, 1)
+	case ExplicitZero:
+		o.LASTAlpha = 0
 	}
 	return o
 }
@@ -147,22 +162,39 @@ type manifestSnap struct {
 	Recreation float64 `json:"recreation"`
 }
 
+// planeKey identifies the decoded byte planes of one node resolved at one
+// prefix. Caching planes by node id alone is wrong: a retrieval at prefix 2
+// produces zero-filled planes 2-3, which must never satisfy a later lookup
+// at prefix 4.
+type planeKey struct {
+	id     int
+	prefix int
+}
+
 // Store is an opened parameter archive.
 type Store struct {
 	dir string
 	man manifest
 
 	mu        sync.Mutex
-	cache     map[int]*[4][]byte     // node -> exact byte planes (reusable scheme)
-	fullCache map[int]*tensor.Matrix // node -> exact matrix (reusable scheme)
+	cache     map[planeKey]*[4][]byte // (node, prefix) -> byte planes (reusable scheme)
+	fullCache map[int]*tensor.Matrix  // node -> exact matrix (reusable scheme)
 	// byRef maps a matrix to its node ids; plane-granular archives have one
 	// node per plane segment, tiling [0, 4).
 	byRef map[MatrixRef][]int
+
+	// eng is the concurrent retrieval engine (worker pool, single-flight
+	// deduplication, bounded plane LRU) behind the Concurrent scheme.
+	eng *engine
 }
 
 // ErrStore reports archive-level failures (corruption, missing chunks,
 // unknown references).
 var ErrStore = errors.New("pas: store error")
+
+// ErrCycle reports a manifest whose parent pointers form a cycle; it wraps
+// ErrStore, so errors.Is(err, ErrStore) also matches.
+var ErrCycle = fmt.Errorf("%w: parent cycle", ErrStore)
 
 // candidates is the output of graph construction: the storage graph plus
 // the delta payload and tier of every candidate edge.
@@ -499,8 +531,9 @@ func Open(dir string) (*Store, error) {
 	if man.Version != 1 {
 		return nil, fmt.Errorf("%w: unsupported manifest version %d", ErrStore, man.Version)
 	}
-	s := &Store{dir: dir, man: man, cache: make(map[int]*[4][]byte),
-		fullCache: make(map[int]*tensor.Matrix), byRef: make(map[MatrixRef][]int)}
+	s := &Store{dir: dir, man: man, cache: make(map[planeKey]*[4][]byte),
+		fullCache: make(map[int]*tensor.Matrix), byRef: make(map[MatrixRef][]int),
+		eng: newEngine()}
 	for _, n := range man.Nodes {
 		s.byRef[n.Ref] = append(s.byRef[n.Ref], n.ID)
 	}
@@ -578,6 +611,26 @@ func nodePlanes(n *manifestNode) (int, int) {
 	return n.PlaneStart, n.PlaneEnd
 }
 
+// readPlane loads, verifies and inflates one stored byte plane of a node.
+func (s *Store) readPlane(n *manifestNode, p int) ([]byte, error) {
+	z, err := os.ReadFile(chunkPath(s.dir, n.ID, p, n.Tier))
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading chunk for node %d plane %d: %v", ErrStore, n.ID, p, err)
+	}
+	sum := sha256.Sum256(z)
+	if hex.EncodeToString(sum[:]) != n.PlaneSum[p] {
+		return nil, fmt.Errorf("%w: chunk checksum mismatch for node %d plane %d", ErrStore, n.ID, p)
+	}
+	raw, err := floatenc.Inflate(z)
+	if err != nil {
+		return nil, fmt.Errorf("%w: node %d plane %d: %v", ErrStore, n.ID, p, err)
+	}
+	if size := n.Rows * n.Cols; len(raw) != size {
+		return nil, fmt.Errorf("%w: node %d plane %d has %d bytes, want %d", ErrStore, n.ID, p, len(raw), size)
+	}
+	return raw, nil
+}
+
 // readPlanes loads and verifies the byte planes of a node's chunk that fall
 // inside both the node's stored range and the first `prefix` planes,
 // zero-filling the rest.
@@ -590,24 +643,33 @@ func (s *Store) readPlanes(n *manifestNode, prefix int) (*[4][]byte, error) {
 			planes[p] = make([]byte, size)
 			continue
 		}
-		z, err := os.ReadFile(chunkPath(s.dir, n.ID, p, n.Tier))
+		raw, err := s.readPlane(n, p)
 		if err != nil {
-			return nil, fmt.Errorf("%w: reading chunk for node %d plane %d: %v", ErrStore, n.ID, p, err)
-		}
-		sum := sha256.Sum256(z)
-		if hex.EncodeToString(sum[:]) != n.PlaneSum[p] {
-			return nil, fmt.Errorf("%w: chunk checksum mismatch for node %d plane %d", ErrStore, n.ID, p)
-		}
-		raw, err := floatenc.Inflate(z)
-		if err != nil {
-			return nil, fmt.Errorf("%w: node %d plane %d: %v", ErrStore, n.ID, p, err)
-		}
-		if len(raw) != size {
-			return nil, fmt.Errorf("%w: node %d plane %d has %d bytes, want %d", ErrStore, n.ID, p, len(raw), size)
+			return nil, err
 		}
 		planes[p] = raw
 	}
 	return &planes, nil
+}
+
+// chainOf returns the delta chain of node id, leaf first, ending at the
+// node materialized from ν0. The walk is iterative — thousand-checkpoint
+// chains must not grow the stack — and returns ErrCycle when the manifest's
+// parent pointers loop.
+func (s *Store) chainOf(id int) ([]int, error) {
+	var chain []int
+	for cur := id; cur != 0; {
+		n, err := s.node(cur)
+		if err != nil {
+			return nil, err
+		}
+		chain = append(chain, cur)
+		if len(chain) > len(s.man.Nodes) {
+			return nil, fmt.Errorf("%w through node %d", ErrCycle, id)
+		}
+		cur = n.Parent
+	}
+	return chain, nil
 }
 
 // resolveFull reconstructs the exact full-precision matrix of node id by
@@ -615,94 +677,102 @@ func (s *Store) readPlanes(n *manifestNode, prefix int) (*[4][]byte, error) {
 // the archive's delta operator. This is the path for any exactly invertible
 // operator (XOR or IntSub). useCache enables the reusable retrieval scheme.
 func (s *Store) resolveFull(id int, useCache bool) (*tensor.Matrix, error) {
-	if useCache {
-		s.mu.Lock()
-		if m, ok := s.fullCache[id]; ok {
-			s.mu.Unlock()
-			return m, nil
-		}
-		s.mu.Unlock()
-	}
-	n, err := s.node(id)
-	if err != nil {
-		return nil, err
-	}
-	planes, err := s.readPlanes(n, floatenc.NumPlanes)
-	if err != nil {
-		return nil, err
-	}
-	body, err := segmentedOf(n, planes).Reconstruct()
+	chain, err := s.chainOf(id)
 	if err != nil {
 		return nil, err
 	}
 	var base *tensor.Matrix
-	if n.Parent != 0 {
-		base, err = s.resolveFull(n.Parent, useCache)
+	for i := len(chain) - 1; i >= 0; i-- {
+		nid := chain[i]
+		if useCache {
+			s.mu.Lock()
+			m, ok := s.fullCache[nid]
+			s.mu.Unlock()
+			if ok {
+				base = m
+				continue
+			}
+		}
+		n, err := s.node(nid)
 		if err != nil {
 			return nil, err
 		}
+		planes, err := s.readPlanes(n, floatenc.NumPlanes)
+		if err != nil {
+			return nil, err
+		}
+		body, err := segmentedOf(n, planes).Reconstruct()
+		if err != nil {
+			return nil, err
+		}
+		d := &delta.Delta{Op: delta.Op(s.man.DeltaOp), Rows: n.Rows, Cols: n.Cols, Body: body}
+		out, err := d.Apply(base)
+		if err != nil {
+			return nil, err
+		}
+		if useCache {
+			s.mu.Lock()
+			s.fullCache[nid] = out
+			s.mu.Unlock()
+		}
+		base = out
 	}
-	d := &delta.Delta{Op: delta.Op(s.man.DeltaOp), Rows: n.Rows, Cols: n.Cols, Body: body}
-	out, err := d.Apply(base)
-	if err != nil {
-		return nil, err
-	}
-	if useCache {
-		s.mu.Lock()
-		s.fullCache[id] = out
-		s.mu.Unlock()
-	}
-	return out, nil
+	return base, nil
 }
 
 // resolvePlanes computes the exact first `prefix` byte planes of node id's
-// *matrix* (not its delta) by walking the delta chain from ν0. XOR deltas
-// compose per byte, so a prefix of planes is exact even without the
-// low-order chunks; other operators must use resolveFull. useCache enables
-// the reusable retrieval scheme.
+// *matrix* (not its delta) by walking the delta chain from ν0, leaf-ward
+// from the root-most node. XOR deltas compose per byte, so a prefix of
+// planes is exact even without the low-order chunks; other operators must
+// use resolveFull. useCache enables the reusable retrieval scheme, whose
+// cache is keyed by (node, prefix) — a prefix-2 result must never satisfy a
+// prefix-4 lookup.
 func (s *Store) resolvePlanes(id, prefix int, useCache bool) (*[4][]byte, error) {
 	if s.man.DeltaOp != uint8(delta.XOR) {
 		return nil, fmt.Errorf("%w: partial retrieval requires XOR deltas", ErrStore)
 	}
-	if useCache {
-		s.mu.Lock()
-		if c, ok := s.cache[id]; ok {
+	chain, err := s.chainOf(id)
+	if err != nil {
+		return nil, err
+	}
+	var parent *[4][]byte
+	var pn *manifestNode
+	for i := len(chain) - 1; i >= 0; i-- {
+		nid := chain[i]
+		n, err := s.node(nid)
+		if err != nil {
+			return nil, err
+		}
+		if useCache {
+			s.mu.Lock()
+			c, ok := s.cache[planeKey{nid, prefix}]
 			s.mu.Unlock()
-			return c, nil
+			if ok {
+				parent, pn = c, n
+				continue
+			}
 		}
-		s.mu.Unlock()
-	}
-	n, err := s.node(id)
-	if err != nil {
-		return nil, err
-	}
-	planes, err := s.readPlanes(n, prefix)
-	if err != nil {
-		return nil, err
-	}
-	if n.Parent != 0 {
-		parent, err := s.resolvePlanes(n.Parent, prefix, useCache)
+		planes, err := s.readPlanes(n, prefix)
 		if err != nil {
 			return nil, err
 		}
-		pn, err := s.node(n.Parent)
-		if err != nil {
-			return nil, err
+		if n.Parent != 0 {
+			// The delta body has the child's shape; XOR against the parent
+			// resized to that shape (delta.ResizeTo semantics, per plane),
+			// only over the planes this node actually stores.
+			start, end := nodePlanes(n)
+			for p := start; p < end && p < prefix; p++ {
+				xorResized(planes[p], parent[p], n.Rows, n.Cols, pn.Rows, pn.Cols)
+			}
 		}
-		// The delta body has the child's shape; XOR against the parent
-		// resized to that shape (delta.ResizeTo semantics, per plane),
-		// only over the planes this node actually stores.
-		start, end := nodePlanes(n)
-		for p := start; p < end && p < prefix; p++ {
-			xorResized(planes[p], parent[p], n.Rows, n.Cols, pn.Rows, pn.Cols)
+		if useCache {
+			s.mu.Lock()
+			s.cache[planeKey{nid, prefix}] = planes
+			s.mu.Unlock()
 		}
+		parent, pn = planes, n
 	}
-	if useCache {
-		s.mu.Lock()
-		s.cache[id] = planes
-		s.mu.Unlock()
-	}
-	return planes, nil
+	return parent, nil
 }
 
 // xorResized XORs the parent's plane (pr x pc) into dst (r x c), cropping or
@@ -736,6 +806,14 @@ func segmentedOf(n *manifestNode, planes *[4][]byte) *floatenc.Segmented {
 // of its part nodes (one full-range node, or high/low segment nodes under
 // plane granularity), each following its own delta chain.
 func (s *Store) resolveRef(ref MatrixRef, prefix int, useCache bool) (*[4][]byte, int, int, error) {
+	return s.resolveRefWith(ref, prefix, func(id, prefix int) (*[4][]byte, error) {
+		return s.resolvePlanes(id, prefix, useCache)
+	})
+}
+
+// resolveRefWith is resolveRef with a pluggable per-node chain resolver (the
+// sequential resolvePlanes, or the concurrent engine's).
+func (s *Store) resolveRefWith(ref MatrixRef, prefix int, resolve func(id, prefix int) (*[4][]byte, error)) (*[4][]byte, int, int, error) {
 	ids, ok := s.byRef[ref]
 	if !ok {
 		return nil, 0, 0, fmt.Errorf("%w: unknown matrix %v", ErrStore, ref)
@@ -762,7 +840,7 @@ func (s *Store) resolveRef(ref MatrixRef, prefix int, useCache bool) (*[4][]byte
 		if n.Rows != rows || n.Cols != cols {
 			return nil, 0, 0, fmt.Errorf("%w: part nodes of %v disagree on shape", ErrStore, ref)
 		}
-		planes, err := s.resolvePlanes(id, prefix, useCache)
+		planes, err := resolve(id, prefix)
 		if err != nil {
 			return nil, 0, 0, err
 		}
@@ -827,7 +905,8 @@ func (s *Store) GetIntervals(ref MatrixRef, prefix int) (lo, hi *tensor.Matrix, 
 // GetSnapshot retrieves all matrices of a snapshot under the given retrieval
 // scheme (paper Table III): Independent walks each chain sequentially,
 // Parallel uses one goroutine per matrix, Reusable caches shared chain
-// prefixes across matrices.
+// prefixes across matrices, and Concurrent schedules chain resolution over a
+// worker pool with single-flight deduplication and a persistent plane LRU.
 func (s *Store) GetSnapshot(snapshot string, prefix int, scheme Scheme) (map[string]*tensor.Matrix, error) {
 	names, err := s.MatrixNames(snapshot)
 	if err != nil {
@@ -835,6 +914,8 @@ func (s *Store) GetSnapshot(snapshot string, prefix int, scheme Scheme) (map[str
 	}
 	out := make(map[string]*tensor.Matrix, len(names))
 	switch scheme {
+	case Concurrent:
+		return s.getSnapshotConcurrent(snapshot, names, prefix)
 	case Parallel:
 		var wg sync.WaitGroup
 		var mu sync.Mutex

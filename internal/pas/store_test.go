@@ -64,7 +64,7 @@ func TestStoreRoundTripExact(t *testing.T) {
 func TestStoreAllRetrievalSchemesAgree(t *testing.T) {
 	snaps := makeSnaps(2, 3, 0)
 	st := createStore(t, snaps, Options{})
-	for _, scheme := range []Scheme{Independent, Parallel, Reusable} {
+	for _, scheme := range []Scheme{Independent, Parallel, Reusable, Concurrent} {
 		got, err := st.GetSnapshot("c", 4, scheme)
 		if err != nil {
 			t.Fatalf("%v: %v", scheme, err)
@@ -502,7 +502,7 @@ func TestStorePlaneGranularityRoundTrip(t *testing.T) {
 	snaps := makeSnaps(80, 4, 0)
 	st := createStore(t, snaps, Options{PlaneGranularity: true})
 	for _, snap := range snaps {
-		for _, scheme := range []Scheme{Independent, Parallel, Reusable} {
+		for _, scheme := range []Scheme{Independent, Parallel, Reusable, Concurrent} {
 			got, err := st.GetSnapshot(snap.ID, 4, scheme)
 			if err != nil {
 				t.Fatalf("%v: %v", scheme, err)

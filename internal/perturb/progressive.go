@@ -107,3 +107,7 @@ func parametricNames(def *dnn.NetDef) []string {
 	}
 	return out
 }
+
+// ParametricNames lists the parametric layer names of a network definition —
+// the layer set a PrefetchSource should cover.
+func ParametricNames(def *dnn.NetDef) []string { return parametricNames(def) }
