@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-race bench check
+.PHONY: build vet test test-race bench bench-train check
 
 build:
 	$(GO) build ./...
@@ -11,12 +11,17 @@ vet:
 test:
 	$(GO) test ./...
 
-# Race-detect the packages with real concurrency: the PAS retrieval engine
-# and the training/inference runtime it feeds.
+# Race-detect the packages with real concurrency: the PAS retrieval engine,
+# the training/inference runtime, the blocked GEMM kernel, and parallel DQL
+# model enumeration.
 test-race:
-	$(GO) test -race ./internal/pas/... ./internal/dnn/...
+	$(GO) test -race ./internal/pas/... ./internal/dnn/... ./internal/dql/... ./internal/tensor/...
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# Training-substrate kernels: conv kernels, GEMM, parallel enumeration.
+bench-train:
+	$(GO) test -bench='BenchmarkConvForward|BenchmarkGemm$$|BenchmarkEvaluateGrid|BenchmarkTrainingStep' -run=^$$ .
 
 check: build vet test test-race

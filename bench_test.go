@@ -23,6 +23,7 @@ import (
 	"sync"
 	"testing"
 
+	"modelhub/internal/data"
 	"modelhub/internal/delta"
 	"modelhub/internal/dlv"
 	"modelhub/internal/dnn"
@@ -489,6 +490,123 @@ func BenchmarkTrainingStep(b *testing.B) {
 // newEngine adapts the dql engine constructor without importing it at the
 // top for readability of the bench list.
 func newEngine(repo *dlv.Repo) *dql.Engine { return dql.NewEngine(repo) }
+
+// ---- training substrate kernels (mhbench -exp training) ----
+
+// conv3Net is a conv-dominated 3-conv chain for kernel comparisons.
+func conv3Net() *dnn.NetDef {
+	return dnn.ChainDef("conv3", 1, 24, 24, 10,
+		dnn.LayerSpec{Name: "conv1", Kind: dnn.KindConv, Out: 8, K: 3, Stride: 1, Pad: 1},
+		dnn.LayerSpec{Name: "relu1", Kind: dnn.KindReLU},
+		dnn.LayerSpec{Name: "conv2", Kind: dnn.KindConv, Out: 12, K: 3, Stride: 1, Pad: 1},
+		dnn.LayerSpec{Name: "relu2", Kind: dnn.KindReLU},
+		dnn.LayerSpec{Name: "conv3", Kind: dnn.KindConv, Out: 16, K: 3, Stride: 1, Pad: 1},
+		dnn.LayerSpec{Name: "relu3", Kind: dnn.KindReLU},
+		dnn.LayerSpec{Name: "fc", Kind: dnn.KindFull, Out: 10},
+		dnn.LayerSpec{Name: "prob", Kind: dnn.KindSoftmax},
+	)
+}
+
+// BenchmarkConvForward compares the naive six-loop convolution against the
+// im2col/GEMM kernel on a batch-16 forward pass through a 3-conv network.
+func BenchmarkConvForward(b *testing.B) {
+	net, err := dnn.Build(conv3Net(), rand.New(rand.NewSource(3)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	const batch = 16
+	batchIn := make([]*dnn.Volume, batch)
+	for i := range batchIn {
+		v := dnn.NewVolume(dnn.Shape{C: 1, H: 24, W: 24})
+		for j := range v.Data {
+			v.Data[j] = float32(rng.NormFloat64())
+		}
+		batchIn[i] = v
+	}
+	for _, cfg := range []struct {
+		name   string
+		kernel dnn.ConvKernel
+	}{{"naive", dnn.ConvNaive}, {"im2col", dnn.ConvIm2col}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			prev := dnn.SetConvKernel(cfg.kernel)
+			defer dnn.SetConvKernel(prev)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				net.ForwardBatch(batchIn)
+			}
+		})
+	}
+}
+
+// BenchmarkGemm compares the reference triple loop against the blocked
+// kernel at 1 worker and at GOMAXPROCS.
+func BenchmarkGemm(b *testing.B) {
+	const n = 192
+	rng := rand.New(rand.NewSource(5))
+	a := tensor.RandNormal(rng, n, n, 1)
+	c := tensor.RandNormal(rng, n, n, 1)
+	out := tensor.NewMatrix(n, n)
+	flops := int64(2 * n * n * n)
+	b.Run("ref", func(b *testing.B) {
+		b.SetBytes(flops)
+		for i := 0; i < b.N; i++ {
+			if _, err := a.MatMulRef(c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	workerCounts := []int{1}
+	if w := tensor.GemmWorkers(); w > 1 {
+		workerCounts = append(workerCounts, w)
+	}
+	for _, workers := range workerCounts {
+		b.Run(fmt.Sprintf("gemm-w%d", workers), func(b *testing.B) {
+			prev := tensor.SetGemmWorkers(workers)
+			defer tensor.SetGemmWorkers(prev)
+			b.SetBytes(flops)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := tensor.Gemm(out, a, c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEvaluateGrid measures parallel model enumeration (DQL evaluate,
+// Query 4) at 1 worker vs the machine default.
+func BenchmarkEvaluateGrid(b *testing.B) {
+	repo, err := dlv.Init(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := repo.Commit(dlv.CommitInput{Name: "lenet", NetDef: zoo.LeNet("lenet")}); err != nil {
+		b.Fatal(err)
+	}
+	eng := newEngine(repo)
+	eng.Seed = 9
+	eng.RegisterDataset("digits", data.Digits(rand.New(rand.NewSource(9)), 160, 0.05))
+	const query = `evaluate m
+		from (select m1 where m1.name = "lenet")
+		vary config.base_lr in [0.1, 0.01] and config.momentum in [0, 0.9]
+		keep top(4, m["loss"], 4)`
+	for _, cfg := range []struct {
+		name    string
+		workers int
+	}{{"seq", 1}, {"par", 0}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			eng.Workers = cfg.workers
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Run(query); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
 
 // DAG executor overhead vs the plain chain (residual model forward).
 func BenchmarkDAGForwardSkip(b *testing.B) {

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	mhbench -exp all            # every experiment
-//	mhbench -exp fig6a          # one of: tab1 fig6a fig6b fig6c fig6d tab4 tab5 retrieval ablations
+//	mhbench -exp fig6a          # one of: tab1 fig6a fig6b fig6c fig6d tab4 tab5 retrieval training ablations
 //	mhbench -exp fig6c -scale 3 # scale up the synthetic workloads
 package main
 
@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all tab1 fig6a fig6b fig6c fig6d tab4 tab5 retrieval scale ablations")
+	exp := flag.String("exp", "all", "experiment: all tab1 fig6a fig6b fig6c fig6d tab4 tab5 retrieval training scale ablations")
 	scale := flag.Int("scale", 1, "workload scale multiplier for synthetic experiments")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
@@ -143,6 +143,17 @@ func main() {
 			return err
 		}
 		experiments.PrintRetrieval(os.Stdout, rows)
+		return nil
+	})
+
+	run("training", func() error {
+		rows, err := experiments.RunTraining(experiments.TrainingConfig{
+			Iters: 8 * *scale, Examples: 240 * *scale, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+		experiments.PrintTraining(os.Stdout, rows)
 		return nil
 	})
 

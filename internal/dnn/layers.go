@@ -83,12 +83,74 @@ type convLayer struct {
 	stride int
 	w, g   *tensor.Matrix
 	lastIn *Volume
+	// cols holds the im2col unroll of lastIn (C·k·k × outH·outW); dcols the
+	// matching gradient buffer. Both are lazily allocated once per layer and
+	// reused across examples, so steady-state training and batched
+	// evaluation do no per-example column allocation. Forward fills cols and
+	// Backward consumes it, so the forward pass's unroll doubles as the dW
+	// operand for free.
+	cols, dcols *tensor.Matrix
 }
 
 func (l *convLayer) Weights() *tensor.Matrix { return l.w }
 func (l *convLayer) Grad() *tensor.Matrix    { return l.g }
 
 func (l *convLayer) Forward(in *Volume) *Volume {
+	if ActiveConvKernel() == ConvNaive {
+		return l.forwardNaive(in)
+	}
+	l.lastIn = in
+	k, pad := l.spec.K, l.spec.Pad
+	kk := l.in.C * k * k      // contraction depth (weight columns sans bias)
+	n := l.out.H * l.out.W    // output pixels
+	if l.cols == nil {
+		l.cols = tensor.NewMatrix(kk, n)
+	}
+	im2col(in, l.cols, k, l.stride, pad, l.out.H, l.out.W)
+	out := NewVolume(l.out)
+	// Seed each output row with its bias, then accumulate W·cols on top:
+	// per-element summation order (bias first, then k ascending) matches the
+	// naive kernel bit-for-bit.
+	biasCol := l.w.Cols() - 1
+	for oc := 0; oc < l.out.C; oc++ {
+		b := l.w.Row(oc)[biasCol]
+		row := out.Data[oc*n : (oc+1)*n]
+		for j := range row {
+			row[j] = b
+		}
+	}
+	tensor.GemmStrided(l.out.C, n, kk, l.w.Data(), l.w.Cols(), l.cols.Data(), n, out.Data, n, true)
+	return out
+}
+
+func (l *convLayer) Backward(dOut *Volume) *Volume {
+	if ActiveConvKernel() == ConvNaive {
+		return l.backwardNaive(dOut)
+	}
+	k, pad := l.spec.K, l.spec.Pad
+	kk := l.in.C * k * k
+	n := l.out.H * l.out.W
+	biasCol := l.w.Cols() - 1
+	// dW += dOut · colsᵀ, reusing the unroll the forward pass left behind.
+	tensor.GemmNTStrided(l.out.C, kk, n, dOut.Data, n, l.cols.Data(), n, l.g.Data(), l.g.Cols(), true)
+	for oc := 0; oc < l.out.C; oc++ {
+		var s float32
+		for _, d := range dOut.Data[oc*n : (oc+1)*n] {
+			s += d
+		}
+		l.g.Row(oc)[biasCol] += s
+	}
+	// dIn = col2im(Wᵀ · dOut).
+	if l.dcols == nil {
+		l.dcols = tensor.NewMatrix(kk, n)
+	}
+	tensor.GemmTNStrided(kk, n, l.out.C, l.w.Data(), l.w.Cols(), dOut.Data, n, l.dcols.Data(), n, false)
+	dIn := NewVolume(l.in)
+	col2im(l.dcols, dIn, k, l.stride, pad, l.out.H, l.out.W)
+	return dIn
+}
+
+func (l *convLayer) forwardNaive(in *Volume) *Volume {
 	l.lastIn = in
 	out := NewVolume(l.out)
 	k, pad := l.spec.K, l.spec.Pad
@@ -120,7 +182,7 @@ func (l *convLayer) Forward(in *Volume) *Volume {
 	return out
 }
 
-func (l *convLayer) Backward(dOut *Volume) *Volume {
+func (l *convLayer) backwardNaive(dOut *Volume) *Volume {
 	in := l.lastIn
 	dIn := NewVolume(l.in)
 	k, pad := l.spec.K, l.spec.Pad
@@ -288,14 +350,13 @@ func (l *fullLayer) Forward(in *Volume) *Volume {
 	l.lastIn = in
 	out := NewVolume(l.out)
 	biasCol := l.w.Cols() - 1
+	nIn := len(in.Data)
+	// Seed with biases, then one matrix-vector GEMM: summation order (bias
+	// first, then inputs ascending) matches the previous scalar loop.
 	for o := 0; o < l.out.C; o++ {
-		row := l.w.Row(o)
-		sum := row[biasCol]
-		for i, x := range in.Data {
-			sum += row[i] * x
-		}
-		out.Data[o] = sum
+		out.Data[o] = l.w.Row(o)[biasCol]
 	}
+	tensor.GemmStrided(l.out.C, 1, nIn, l.w.Data(), l.w.Cols(), in.Data, 1, out.Data, 1, true)
 	return out
 }
 
@@ -303,18 +364,14 @@ func (l *fullLayer) Backward(dOut *Volume) *Volume {
 	in := l.lastIn
 	dIn := NewVolume(l.in)
 	biasCol := l.w.Cols() - 1
+	nIn := len(in.Data)
 	for o := 0; o < l.out.C; o++ {
 		d := dOut.Data[o]
-		if d == 0 {
-			continue
-		}
 		row := l.w.Row(o)
 		grow := l.g.Row(o)
 		grow[biasCol] += d
-		for i, x := range in.Data {
-			grow[i] += d * x
-			dIn.Data[i] += d * row[i]
-		}
+		tensor.AddScaled(grow[:nIn], in.Data, d)
+		tensor.AddScaled(dIn.Data, row[:nIn], d)
 	}
 	return dIn
 }

@@ -227,6 +227,28 @@ func (n *Network) Predict(in *Volume) int {
 	return bi
 }
 
+// ForwardBatch runs the full DAG on each input in order and returns the
+// outputs. Layer-internal scratch (conv column buffers) is allocated once on
+// the first example and reused for the rest, so batched evaluation amortizes
+// buffer setup that per-call users pay every time.
+func (n *Network) ForwardBatch(ins []*Volume) []*Volume {
+	outs := make([]*Volume, len(ins))
+	for i, in := range ins {
+		outs[i] = n.Forward(in)
+	}
+	return outs
+}
+
+// PredictBatch returns the argmax label for each input, reusing layer
+// buffers across the batch (see ForwardBatch).
+func (n *Network) PredictBatch(ins []*Volume) []int {
+	labels := make([]int, len(ins))
+	for i, in := range ins {
+		labels[i] = n.Predict(in)
+	}
+	return labels
+}
+
 // LossAndBackward computes softmax cross-entropy loss of the input against
 // the true label and backpropagates, accumulating weight gradients. It
 // returns the loss and whether the prediction was correct.

@@ -20,6 +20,12 @@ type Engine struct {
 	datasets map[string][]dnn.Example
 	// Seed drives candidate training in evaluate statements.
 	Seed int64
+	// Workers bounds how many evaluate-statement candidates train
+	// concurrently: 0 means GOMAXPROCS, 1 forces sequential execution.
+	// Every candidate trains on its own Network clone with seeding that is
+	// independent of scheduling, so results are bit-identical at any
+	// worker count.
+	Workers int
 }
 
 // NewEngine wraps a repository.

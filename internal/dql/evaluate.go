@@ -5,7 +5,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"modelhub/internal/data"
 	"modelhub/internal/dnn"
@@ -82,17 +85,78 @@ func (e *Engine) execEvaluate(s *EvaluateStmt) ([]Candidate, error) {
 	if err != nil {
 		return nil, err
 	}
-	var cands []Candidate
+	// Enumerate the full (model, config) grid up front, then train the
+	// candidates on a bounded worker pool. Each candidate builds and trains
+	// its own Network with RNG seeding derived only from the engine seed
+	// (never from scheduling), and results land at their grid index, so the
+	// output is bit-identical to sequential execution — same losses, same
+	// accuracies, same keep-clause survivors — at any worker count.
+	type job struct {
+		def *dnn.NetDef
+		cfg EvalConfig
+	}
+	var jobs []job
 	for _, def := range defs {
 		for _, cfg := range configs {
-			cand, err := e.trainCandidate(def, cfg, s.Keep.Iters)
+			jobs = append(jobs, job{def: def, cfg: cfg})
+		}
+	}
+	results := make([]Candidate, len(jobs))
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for i, j := range jobs {
+			cand, err := e.trainCandidate(j.def, j.cfg, s.Keep.Iters)
 			if err != nil {
 				return nil, err
 			}
-			cands = append(cands, cand)
+			results[i] = cand
 		}
+		return applyKeep(results, s.Keep)
 	}
-	return applyKeep(cands, s.Keep)
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+		canceled = make(chan struct{})
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				select {
+				case <-canceled: // first error wins; drop remaining work
+					return
+				default:
+				}
+				cand, err := e.trainCandidate(jobs[i].def, jobs[i].cfg, s.Keep.Iters)
+				if err != nil {
+					errOnce.Do(func() {
+						firstErr = err
+						close(canceled)
+					})
+					return
+				}
+				results[i] = cand
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return applyKeep(results, s.Keep)
 }
 
 func (e *Engine) candidateDefs(s *EvaluateStmt) ([]*dnn.NetDef, error) {
@@ -224,7 +288,13 @@ func (e *Engine) trainCandidate(def *dnn.NetDef, cfg EvalConfig, iters int) (Can
 	if n := len(res.Log); n > 0 {
 		loss = res.Log[n-1].Loss
 	}
-	return Candidate{Def: def, Config: cfg, Loss: loss, Acc: dnn.Evaluate(net, test)}, nil
+	// Held-out accuracy over sharded network clones; EvaluateParallel
+	// matches Evaluate exactly (prediction is deterministic per example).
+	acc, err := dnn.EvaluateParallel(net, test, runtime.GOMAXPROCS(0))
+	if err != nil {
+		return Candidate{}, err
+	}
+	return Candidate{Def: def, Config: cfg, Loss: loss, Acc: acc}, nil
 }
 
 // applyKeep sorts candidates by the keep metric and applies the top-k or

@@ -1,0 +1,120 @@
+package dql
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"modelhub/internal/tensor"
+)
+
+const gridQuery = `evaluate m
+	from (select m1 where m1.name like "%net%")
+	vary config.base_lr in [0.1, 0.01] and config.momentum in [0, 0.9]
+	keep top(4, m["loss"], 6)`
+
+// TestEvaluateParallelBitIdentical is the determinism contract of parallel
+// model enumeration: at any worker count, evaluate must return candidates
+// bit-identical to sequential execution — same losses, same accuracies, and
+// the same keep-clause survivors in the same order.
+func TestEvaluateParallelBitIdentical(t *testing.T) {
+	_, eng := populated(t)
+	eng.Workers = 1
+	seq, err := eng.Run(gridQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Candidates) != 4 {
+		t.Fatalf("sequential candidates = %d", len(seq.Candidates))
+	}
+	for _, workers := range []int{2, 4, 8} {
+		eng.Workers = workers
+		par, err := eng.Run(gridQuery)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(par.Candidates) != len(seq.Candidates) {
+			t.Fatalf("workers=%d: %d candidates, sequential had %d",
+				workers, len(par.Candidates), len(seq.Candidates))
+		}
+		for i, c := range par.Candidates {
+			s := seq.Candidates[i]
+			if math.Float64bits(c.Loss) != math.Float64bits(s.Loss) ||
+				math.Float64bits(c.Acc) != math.Float64bits(s.Acc) {
+				t.Fatalf("workers=%d candidate %d: (loss %v, acc %v) != sequential (loss %v, acc %v)",
+					workers, i, c.Loss, c.Acc, s.Loss, s.Acc)
+			}
+			if c.Def.Name != s.Def.Name ||
+				c.Config.BaseLR != s.Config.BaseLR ||
+				c.Config.Momentum != s.Config.Momentum ||
+				c.Config.Batch != s.Config.Batch ||
+				c.Config.InputData != s.Config.InputData {
+				t.Fatalf("workers=%d candidate %d: survivor (%s, %+v) != sequential (%s, %+v)",
+					workers, i, c.Def.Name, c.Config, s.Def.Name, s.Config)
+			}
+		}
+	}
+}
+
+// TestEvaluateParallelFirstErrorWins: a grid whose candidates all fail (the
+// dataset is registered but a config names a missing one) must surface an
+// error, not hang or panic, under parallel execution.
+func TestEvaluateParallelFirstErrorWins(t *testing.T) {
+	_, eng := populated(t)
+	eng.Workers = 4
+	_, err := eng.Run(`evaluate m
+		from (select m1 where m1.name = "lenet")
+		vary config.base_lr in [0.1, 0.01, 0.001] and config.input_data in ["nope"]
+		keep top(1, m["loss"], 4)`)
+	if err == nil {
+		t.Fatal("want error for unknown dataset")
+	}
+}
+
+// TestEvaluateParallelWithConcurrentGemm runs parallel enumeration while
+// other goroutines hammer the shared GEMM pool — the cross-subsystem race
+// test (run under -race via make test-race).
+func TestEvaluateParallelWithConcurrentGemm(t *testing.T) {
+	_, eng := populated(t)
+	eng.Workers = 4
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	rng := rand.New(rand.NewSource(13))
+	a := tensor.NewMatrix(48, 48)
+	b := tensor.NewMatrix(48, 48)
+	for i := range a.Data() {
+		a.Data()[i] = float32(rng.NormFloat64())
+		b.Data()[i] = float32(rng.NormFloat64())
+	}
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out := tensor.NewMatrix(48, 48)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := tensor.Gemm(out, a, b); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	res, err := eng.Run(`evaluate m
+		from (select m1 where m1.name = "lenet")
+		vary config.base_lr in [0.1, 0.01]
+		keep top(2, m["loss"], 6)`)
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Candidates) != 2 {
+		t.Fatalf("candidates = %d", len(res.Candidates))
+	}
+}

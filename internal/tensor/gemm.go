@@ -1,0 +1,369 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the compute core behind the DNN engine's hot paths: a
+// cache-blocked, goroutine-parallel float32 GEMM plus the strided and
+// transposed variants im2col convolution needs, and small fused helpers
+// (AddScaled). Determinism contract: for every output element the k-summation
+// runs in strictly increasing k order, one rounding per term, so results are
+// bit-identical to the reference triple loop (MatMulRef) regardless of
+// blocking or worker count — parallelism only partitions output rows, never
+// a single element's reduction.
+
+const (
+	// gemmKC is the k-blocking depth: a KC-row panel of B (KC * n floats)
+	// stays resident in cache while a band of C rows streams over it.
+	gemmKC = 240
+	// gemmParallelMin is the flop floor (m*n*k) below which dispatching to
+	// the worker pool costs more than the multiply.
+	gemmParallelMin = 32 * 1024
+	// gemmBandsPerWorker oversubscribes row bands so the atomic-counter
+	// work-stealing loop balances uneven bands.
+	gemmBandsPerWorker = 4
+)
+
+// gemmWorkerOverride holds the package-level worker override; <= 0 means use
+// GOMAXPROCS.
+var gemmWorkerOverride atomic.Int32
+
+// SetGemmWorkers overrides the number of workers GEMM dispatches to and
+// returns the previous override. n <= 0 restores the GOMAXPROCS-derived
+// default. Safe to call concurrently with running kernels (they snapshot the
+// setting at dispatch).
+func SetGemmWorkers(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(gemmWorkerOverride.Swap(int32(n)))
+}
+
+// GemmWorkers returns the effective worker count: the override if set,
+// otherwise GOMAXPROCS.
+func GemmWorkers() int {
+	if v := gemmWorkerOverride.Load(); v > 0 {
+		return int(v)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// gemmPool is the shared worker pool all GEMM calls dispatch row bands to.
+// Workers are started lazily on the first parallel kernel; tasks that cannot
+// be enqueued without blocking (pool saturated by nested parallelism, e.g.
+// concurrent DQL candidates each running GEMMs) fall back to fresh
+// goroutines so dispatch never deadlocks.
+var gemmPool struct {
+	once  sync.Once
+	tasks chan func()
+}
+
+func gemmPoolStart() {
+	size := runtime.GOMAXPROCS(0)
+	if size < 2 {
+		size = 2 // keep the concurrent path exercised on single-CPU hosts
+	}
+	if size > 16 {
+		size = 16
+	}
+	gemmPool.tasks = make(chan func(), size)
+	for i := 0; i < size; i++ {
+		go func() {
+			for f := range gemmPool.tasks {
+				f()
+			}
+		}()
+	}
+}
+
+// parallelBands runs body(0..bands-1) across the caller plus workers-1 pool
+// goroutines, with band indices handed out by an atomic counter (work
+// stealing: fast workers drain the remaining bands).
+func parallelBands(bands, workers int, body func(band int)) {
+	if workers > bands {
+		workers = bands
+	}
+	if workers <= 1 {
+		for i := 0; i < bands; i++ {
+			body(i)
+		}
+		return
+	}
+	gemmPool.once.Do(gemmPoolStart)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	run := func() {
+		defer wg.Done()
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= bands {
+				return
+			}
+			body(i)
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers-1; w++ {
+		select {
+		case gemmPool.tasks <- run:
+		default:
+			go run()
+		}
+	}
+	run() // the caller participates as the last worker
+	wg.Wait()
+}
+
+// AddScaled computes dst[i] += alpha * x[i] (axpy). It panics if the slices
+// differ in length.
+func AddScaled(dst, x []float32, alpha float32) {
+	if len(dst) != len(x) {
+		panic(fmt.Sprintf("tensor: AddScaled length %d != %d", len(dst), len(x)))
+	}
+	for i, v := range x {
+		dst[i] += alpha * v
+	}
+}
+
+// zeroRows clears rows [0, m) of c (row length n, stride ldc).
+func zeroRows(m, n int, c []float32, ldc int) {
+	for i := 0; i < m; i++ {
+		row := c[i*ldc : i*ldc+n]
+		for j := range row {
+			row[j] = 0
+		}
+	}
+}
+
+// GemmStrided computes C += A·B (acc=true) or C = A·B (acc=false) on raw
+// row-major storage: A is m×k with row stride lda, B is k×n with stride ldb,
+// C is m×n with stride ldc. Strides let callers address submatrix views,
+// e.g. a weight matrix whose trailing bias column is excluded (lda = k+1).
+func GemmStrided(m, n, k int, a []float32, lda int, b []float32, ldb int, c []float32, ldc int, acc bool) {
+	if m <= 0 || n <= 0 {
+		return
+	}
+	if !acc {
+		zeroRows(m, n, c, ldc)
+	}
+	if k <= 0 {
+		return
+	}
+	dispatchRows(m, n, k, func(i0, i1 int) {
+		gemmBandN(i0, i1, n, k, a, lda, b, ldb, c, ldc)
+	})
+}
+
+// packPool recycles the scratch panels GemmTNStrided packs Aᵀ into, so
+// per-example backward passes do not allocate.
+var packPool = sync.Pool{New: func() any { return new([]float32) }}
+
+// GemmTNStrided computes C += Aᵀ·B (acc=true) or C = Aᵀ·B: A is k×m with
+// stride lda (so Aᵀ is m×k), B is k×n with stride ldb, C is m×n. When the
+// multiply is large enough to amortize the copy, A is packed into a
+// contiguous m×k panel first so the inner kernel streams unit-stride
+// memory; packing is pure data movement and does not change the summation
+// order.
+func GemmTNStrided(m, n, k int, a []float32, lda int, b []float32, ldb int, c []float32, ldc int, acc bool) {
+	if m <= 0 || n <= 0 {
+		return
+	}
+	if !acc {
+		zeroRows(m, n, c, ldc)
+	}
+	if k <= 0 {
+		return
+	}
+	if n >= 4 && m*n*k >= 4*m*k { // packing cost m*k is negligible vs m*n*k
+		bufp := packPool.Get().(*[]float32)
+		buf := *bufp
+		if cap(buf) < m*k {
+			buf = make([]float32, m*k)
+		}
+		buf = buf[:m*k]
+		transposeBlocked(k, m, a, lda, buf, k)
+		dispatchRows(m, n, k, func(i0, i1 int) {
+			gemmBandN(i0, i1, n, k, buf, k, b, ldb, c, ldc)
+		})
+		*bufp = buf
+		packPool.Put(bufp)
+		return
+	}
+	dispatchRows(m, n, k, func(i0, i1 int) {
+		gemmBandTN(i0, i1, n, k, a, lda, b, ldb, c, ldc)
+	})
+}
+
+// GemmNTStrided computes C += A·Bᵀ (acc=true) or C = A·Bᵀ: A is m×k with
+// stride lda, B is n×k with stride ldb (so Bᵀ is k×n), C is m×n. Each output
+// element is a dot product of two contiguous rows.
+func GemmNTStrided(m, n, k int, a []float32, lda int, b []float32, ldb int, c []float32, ldc int, acc bool) {
+	if m <= 0 || n <= 0 {
+		return
+	}
+	if !acc {
+		zeroRows(m, n, c, ldc)
+	}
+	if k <= 0 {
+		return
+	}
+	dispatchRows(m, n, k, func(i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			arow := a[i*lda : i*lda+k]
+			crow := c[i*ldc : i*ldc+n]
+			for j := 0; j < n; j++ {
+				brow := b[j*ldb : j*ldb+k]
+				var s float32
+				for t, av := range arow {
+					s += av * brow[t]
+				}
+				crow[j] += s
+			}
+		}
+	})
+}
+
+// dispatchRows splits rows [0, m) into bands and runs them on the shared
+// pool when the multiply is large enough to amortize dispatch.
+func dispatchRows(m, n, k int, body func(i0, i1 int)) {
+	workers := GemmWorkers()
+	if workers <= 1 || m*n*k < gemmParallelMin || m == 1 {
+		body(0, m)
+		return
+	}
+	bands := workers * gemmBandsPerWorker
+	if bands > m {
+		bands = m
+	}
+	size := (m + bands - 1) / bands
+	bands = (m + size - 1) / size
+	parallelBands(bands, workers, func(band int) {
+		i0 := band * size
+		i1 := i0 + size
+		if i1 > m {
+			i1 = m
+		}
+		body(i0, i1)
+	})
+}
+
+// gemmBandN is the serial N/N inner kernel over C rows [i0, i1): k-blocked
+// with two-row register tiling, so each KC-row panel of B is streamed once
+// for two output rows.
+func gemmBandN(i0, i1, n, k int, a []float32, lda int, b []float32, ldb int, c []float32, ldc int) {
+	if n == 1 {
+		// Matrix-vector: each output element is one running dot, accumulated
+		// in a register in the same order as the general path.
+		for i := i0; i < i1; i++ {
+			arow := a[i*lda : i*lda+k]
+			s := c[i*ldc]
+			if ldb == 1 {
+				x := b[:k]
+				for t, av := range arow {
+					s += av * x[t]
+				}
+			} else {
+				for t, av := range arow {
+					s += av * b[t*ldb]
+				}
+			}
+			c[i*ldc] = s
+		}
+		return
+	}
+	for kb := 0; kb < k; kb += gemmKC {
+		kEnd := kb + gemmKC
+		if kEnd > k {
+			kEnd = k
+		}
+		i := i0
+		for ; i+1 < i1; i += 2 {
+			arow0 := a[i*lda : i*lda+k]
+			arow1 := a[(i+1)*lda : (i+1)*lda+k]
+			crow0 := c[i*ldc : i*ldc+n]
+			crow1 := c[(i+1)*ldc : (i+1)*ldc+n]
+			for t := kb; t < kEnd; t++ {
+				a0, a1 := arow0[t], arow1[t]
+				brow := b[t*ldb : t*ldb+n]
+				for j, bv := range brow {
+					crow0[j] += a0 * bv
+					crow1[j] += a1 * bv
+				}
+			}
+		}
+		if i < i1 {
+			arow := a[i*lda : i*lda+k]
+			crow := c[i*ldc : i*ldc+n]
+			for t := kb; t < kEnd; t++ {
+				av := arow[t]
+				brow := b[t*ldb : t*ldb+n]
+				for j, bv := range brow {
+					crow[j] += av * bv
+				}
+			}
+		}
+	}
+}
+
+// gemmBandTN is gemmBandN with A read transposed (A is k×m, element (t, i)
+// at a[t*lda+i]).
+func gemmBandTN(i0, i1, n, k int, a []float32, lda int, b []float32, ldb int, c []float32, ldc int) {
+	for kb := 0; kb < k; kb += gemmKC {
+		kEnd := kb + gemmKC
+		if kEnd > k {
+			kEnd = k
+		}
+		i := i0
+		for ; i+1 < i1; i += 2 {
+			crow0 := c[i*ldc : i*ldc+n]
+			crow1 := c[(i+1)*ldc : (i+1)*ldc+n]
+			for t := kb; t < kEnd; t++ {
+				a0, a1 := a[t*lda+i], a[t*lda+i+1]
+				brow := b[t*ldb : t*ldb+n]
+				for j, bv := range brow {
+					crow0[j] += a0 * bv
+					crow1[j] += a1 * bv
+				}
+			}
+		}
+		if i < i1 {
+			crow := c[i*ldc : i*ldc+n]
+			for t := kb; t < kEnd; t++ {
+				av := a[t*lda+i]
+				brow := b[t*ldb : t*ldb+n]
+				for j, bv := range brow {
+					crow[j] += av * bv
+				}
+			}
+		}
+	}
+}
+
+// Gemm computes dst = a·b. dst must be preallocated with shape
+// a.Rows()×b.Cols() and must not alias a or b.
+func Gemm(dst, a, b *Matrix) error {
+	if a.cols != b.rows {
+		return fmt.Errorf("tensor: gemm %dx%d by %dx%d: %w", a.rows, a.cols, b.rows, b.cols, ErrShape)
+	}
+	if dst.rows != a.rows || dst.cols != b.cols {
+		return fmt.Errorf("tensor: gemm dst %dx%d, want %dx%d: %w", dst.rows, dst.cols, a.rows, b.cols, ErrShape)
+	}
+	GemmStrided(a.rows, b.cols, a.cols, a.data, a.cols, b.data, b.cols, dst.data, dst.cols, false)
+	return nil
+}
+
+// GemmAcc computes dst += a·b with the same shape rules as Gemm.
+func GemmAcc(dst, a, b *Matrix) error {
+	if a.cols != b.rows {
+		return fmt.Errorf("tensor: gemm %dx%d by %dx%d: %w", a.rows, a.cols, b.rows, b.cols, ErrShape)
+	}
+	if dst.rows != a.rows || dst.cols != b.cols {
+		return fmt.Errorf("tensor: gemm dst %dx%d, want %dx%d: %w", dst.rows, dst.cols, a.rows, b.cols, ErrShape)
+	}
+	GemmStrided(a.rows, b.cols, a.cols, a.data, a.cols, b.data, b.cols, dst.data, dst.cols, true)
+	return nil
+}

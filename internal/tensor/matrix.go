@@ -182,8 +182,22 @@ func (m *Matrix) MatVec(x []float32) ([]float32, error) {
 	return out, nil
 }
 
-// MatMul returns m · o.
+// MatMul returns m · o. It delegates to the blocked, parallel Gemm kernel;
+// MatMulRef is the reference implementation both are checked against.
 func (m *Matrix) MatMul(o *Matrix) (*Matrix, error) {
+	if m.cols != o.rows {
+		return nil, fmt.Errorf("tensor: matmul %dx%d by %dx%d: %w", m.rows, m.cols, o.rows, o.cols, ErrShape)
+	}
+	out := NewMatrix(m.rows, o.cols)
+	GemmStrided(m.rows, o.cols, m.cols, m.data, m.cols, o.data, o.cols, out.data, o.cols, true)
+	return out, nil
+}
+
+// MatMulRef is the reference triple-loop product kept for cross-checking the
+// blocked kernel. The inner loop is branch-free: skipping zero multiplicands
+// pessimizes dense weights via branch misprediction, so any sparse shortcut
+// belongs in the caller.
+func (m *Matrix) MatMulRef(o *Matrix) (*Matrix, error) {
 	if m.cols != o.rows {
 		return nil, fmt.Errorf("tensor: matmul %dx%d by %dx%d: %w", m.rows, m.cols, o.rows, o.cols, ErrShape)
 	}
@@ -191,9 +205,6 @@ func (m *Matrix) MatMul(o *Matrix) (*Matrix, error) {
 	for i := 0; i < m.rows; i++ {
 		for k := 0; k < m.cols; k++ {
 			a := m.data[i*m.cols+k]
-			if a == 0 {
-				continue
-			}
 			orow := o.data[k*o.cols : (k+1)*o.cols]
 			dst := out.data[i*o.cols : (i+1)*o.cols]
 			for j, b := range orow {
@@ -204,13 +215,38 @@ func (m *Matrix) MatMul(o *Matrix) (*Matrix, error) {
 	return out, nil
 }
 
-// Transpose returns mᵀ.
-func (m *Matrix) Transpose() *Matrix {
-	out := NewMatrix(m.cols, m.rows)
-	for i := 0; i < m.rows; i++ {
-		for j := 0; j < m.cols; j++ {
-			out.data[j*m.rows+i] = m.data[i*m.cols+j]
+// transposeTile is the square tile edge for blocked transposes: 32x32
+// float32 tiles (4KB in + 4KB out) keep both the read rows and the written
+// columns cache-resident.
+const transposeTile = 32
+
+// transposeBlocked writes the transpose of the rows×cols matrix src (row
+// stride lds) into dst (row stride ldd, shape cols×rows), walking square
+// tiles so both sides stay cache-friendly.
+func transposeBlocked(rows, cols int, src []float32, lds int, dst []float32, ldd int) {
+	for ib := 0; ib < rows; ib += transposeTile {
+		iEnd := ib + transposeTile
+		if iEnd > rows {
+			iEnd = rows
+		}
+		for jb := 0; jb < cols; jb += transposeTile {
+			jEnd := jb + transposeTile
+			if jEnd > cols {
+				jEnd = cols
+			}
+			for i := ib; i < iEnd; i++ {
+				row := src[i*lds : i*lds+cols]
+				for j := jb; j < jEnd; j++ {
+					dst[j*ldd+i] = row[j]
+				}
+			}
 		}
 	}
+}
+
+// Transpose returns mᵀ (cache-blocked tiles).
+func (m *Matrix) Transpose() *Matrix {
+	out := NewMatrix(m.cols, m.rows)
+	transposeBlocked(m.rows, m.cols, m.data, m.cols, out.data, m.rows)
 	return out
 }
