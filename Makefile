@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 5s
 
-.PHONY: build vet test test-race bench bench-train check
+.PHONY: build vet fmt-check lint test test-race fuzz-smoke bench bench-train check help
 
 build:
 	$(GO) build ./...
@@ -8,14 +9,31 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Fail if any file is not gofmt-clean (prints the offenders).
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+# Run the in-repo analyzer suite (cmd/mhlint). Findings are suppressed
+# inline with `//mhlint:ignore <analyzer> <reason>`; run with -suppressed to
+# audit them, -list to see the analyzers.
+lint:
+	$(GO) run ./cmd/mhlint ./...
+
 test:
 	$(GO) test ./...
 
-# Race-detect the packages with real concurrency: the PAS retrieval engine,
-# the training/inference runtime, the blocked GEMM kernel, and parallel DQL
-# model enumeration.
+# Race-detect the whole module. The concurrency hot spots are the PAS
+# retrieval engine, the training/inference runtime, the blocked GEMM kernel,
+# and parallel DQL model enumeration, but -race is cheap enough to run on
+# everything.
 test-race:
-	$(GO) test -race ./internal/pas/... ./internal/dnn/... ./internal/dql/... ./internal/tensor/...
+	$(GO) test -race ./...
+
+# Short native-fuzzing smoke runs (one target per invocation; go test only
+# accepts -fuzz for a single package).
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzDQLParse -fuzztime=$(FUZZTIME) ./internal/dql
+	$(GO) test -run='^$$' -fuzz=FuzzSegmentRoundTrip -fuzztime=$(FUZZTIME) ./internal/floatenc
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
@@ -24,4 +42,16 @@ bench:
 bench-train:
 	$(GO) test -bench='BenchmarkConvForward|BenchmarkGemm$$|BenchmarkEvaluateGrid|BenchmarkTrainingStep' -run=^$$ .
 
-check: build vet test test-race
+check: build vet fmt-check lint test test-race
+
+help:
+	@echo "build       - compile all packages"
+	@echo "vet         - go vet ./..."
+	@echo "fmt-check   - fail on files needing gofmt"
+	@echo "lint        - run the mhlint analyzer suite over the module"
+	@echo "test        - go test ./..."
+	@echo "test-race   - go test -race ./..."
+	@echo "fuzz-smoke  - short fuzz runs (FUZZTIME=$(FUZZTIME))"
+	@echo "bench       - run all benchmarks once"
+	@echo "bench-train - training-substrate kernel benchmarks"
+	@echo "check       - build + vet + fmt-check + lint + test + test-race"

@@ -66,13 +66,22 @@ func (db *DB) Select(tableName string, q Query) ([]Row, error) {
 	}
 	if q.OrderBy != "" {
 		col := q.OrderBy
+		// The comparator cannot propagate, so the first mixed-type error is
+		// captured and returned after the sort.
+		var sortErr error
 		sort.SliceStable(out, func(a, b int) bool {
-			less, _ := lessValue(out[a][col], out[b][col])
+			less, err := lessValue(out[a][col], out[b][col])
+			if err != nil && sortErr == nil {
+				sortErr = err
+			}
 			if q.Desc {
 				return !less && !equalValue(out[a][col], out[b][col])
 			}
 			return less
 		})
+		if sortErr != nil {
+			return nil, fmt.Errorf("ordering by %q: %w", col, sortErr)
+		}
 	}
 	if q.Limit > 0 && len(out) > q.Limit {
 		out = out[:q.Limit]

@@ -194,7 +194,7 @@ func (r *Repo) writeRawSnapshot(versionID int64, snap string, weights map[string
 			return fmt.Errorf("%w: %v", ErrRepo, err)
 		}
 		if _, err := weights[name].WriteTo(f); err != nil {
-			f.Close()
+			_ = f.Close() //mhlint:ignore errcheck the write error takes precedence over cleanup
 			return fmt.Errorf("%w: writing %s: %v", ErrRepo, name, err)
 		}
 		if err := f.Close(); err != nil {
@@ -220,9 +220,12 @@ func (r *Repo) readRawSnapshot(versionID int64, snap string) (map[string]*tensor
 			return nil, fmt.Errorf("%w: %v", ErrRepo, err)
 		}
 		m, err := tensor.ReadMatrix(f)
-		f.Close()
+		cerr := f.Close()
 		if err != nil {
 			return nil, fmt.Errorf("%w: reading %s: %v", ErrRepo, e.Name(), err)
+		}
+		if cerr != nil {
+			return nil, fmt.Errorf("%w: closing %s: %v", ErrRepo, e.Name(), cerr)
 		}
 		out[e.Name()[:len(e.Name())-4]] = m
 	}

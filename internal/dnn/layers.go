@@ -101,8 +101,8 @@ func (l *convLayer) Forward(in *Volume) *Volume {
 	}
 	l.lastIn = in
 	k, pad := l.spec.K, l.spec.Pad
-	kk := l.in.C * k * k      // contraction depth (weight columns sans bias)
-	n := l.out.H * l.out.W    // output pixels
+	kk := l.in.C * k * k   // contraction depth (weight columns sans bias)
+	n := l.out.H * l.out.W // output pixels
 	if l.cols == nil {
 		l.cols = tensor.NewMatrix(kk, n)
 	}

@@ -1,0 +1,38 @@
+package dql
+
+import "testing"
+
+// FuzzDQLParse throws arbitrary input at the DQL front end. The parser's
+// contract is: never panic, and on success return a non-nil statement. The
+// seed corpus covers every statement kind plus known-tricky fragments from
+// the parser tests.
+func FuzzDQLParse(f *testing.F) {
+	seeds := []string{
+		`select m1 where m1.name like "alex_%" and m1.accuracy >= 0.5`,
+		`select m where m["conv1"].next has POOL order by m.accuracy desc limit 3`,
+		`slice m2 from m1 where input = m1["conv1"] and output = m1["fc7"]`,
+		`construct m3 from m1 where m1["fc6"].units in {2048, 4096}`,
+		`evaluate m from "lenet" with config = "base" vary m["fc1"].units in {64, 128} keep top 2 on accuracy`,
+		`select`,
+		`select m where`,
+		`select m where x.name = "y"`,
+		`select m where m.name ~ "y"`,
+		`select m where m["a"].sideways has POOL`,
+		"select m where m.accuracy >= 0.5 \x00",
+		`evaluate m from "x" with config = "c" vary m["l"].units in {}`,
+		"\"unterminated",
+		`{{{{`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		stmt, err := Parse(input)
+		if err == nil && stmt == nil {
+			t.Fatalf("Parse(%q) returned nil statement without an error", input)
+		}
+		if err != nil && stmt != nil {
+			t.Fatalf("Parse(%q) returned both a statement and error %v", input, err)
+		}
+	})
+}

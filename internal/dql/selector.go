@@ -71,7 +71,7 @@ func CompileSelector(src string) (*Selector, error) {
 	re.WriteString("$")
 	compiled, err := regexp.Compile(re.String())
 	if err != nil {
-		return nil, fmt.Errorf("dql: selector %q: %v", src, err)
+		return nil, fmt.Errorf("dql: selector %q: %w", src, err)
 	}
 	return &Selector{src: src, re: compiled, capVar: capVar}, nil
 }

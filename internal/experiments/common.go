@@ -104,6 +104,8 @@ func restoreEval(def *dnn.NetDef, w map[string]*tensor.Matrix, test []dnn.Exampl
 	return dnn.Evaluate(net, test), nil
 }
 
+// fprintf renders one report line. Experiment reports stream to stdout or
+// in-memory builders; a write failure cannot be handled mid-table.
 func fprintf(w io.Writer, format string, args ...any) {
-	fmt.Fprintf(w, format, args...)
+	_, _ = fmt.Fprintf(w, format, args...) //mhlint:ignore errcheck report streams are best-effort by design
 }

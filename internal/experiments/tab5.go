@@ -83,7 +83,9 @@ func RunTable5(dir string, cfg Tab5Config) ([]Tab5Row, error) {
 
 	var rows []Tab5Row
 	for _, p := range plans {
-		os.RemoveAll(dir + "/.dlv/pas")
+		if err := os.RemoveAll(dir + "/.dlv/pas"); err != nil {
+			return nil, err
+		}
 		store, err := repo.Archive(dlv.ArchiveOptions{
 			Algorithm: p.algo, Scheme: pas.Independent, Alpha: p.alpha,
 		})

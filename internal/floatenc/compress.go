@@ -21,7 +21,7 @@ func Deflate(data []byte, level int) ([]byte, error) {
 		return nil, fmt.Errorf("floatenc: zlib writer: %w", err)
 	}
 	if _, err := zw.Write(data); err != nil {
-		zw.Close()
+		_ = zw.Close() //mhlint:ignore errcheck the write error takes precedence over cleanup
 		return nil, fmt.Errorf("floatenc: zlib write: %w", err)
 	}
 	if err := zw.Close(); err != nil {

@@ -45,6 +45,7 @@ func (c *Client) Publish(root, name string) error {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
+		//mhlint:ignore errcheck best-effort read of the error body for the message
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
 		return fmt.Errorf("%w: publish failed (%d): %s", ErrHub, resp.StatusCode, strings.TrimSpace(string(msg)))
 	}

@@ -106,7 +106,7 @@ func UnpackRepo(r io.Reader, root string) error {
 				return fmt.Errorf("%w: %v", ErrHub, err)
 			}
 			if _, err := io.Copy(f, tr); err != nil { //nolint:gosec // local trusted archives
-				f.Close()
+				_ = f.Close() //mhlint:ignore errcheck the copy error takes precedence over cleanup
 				return fmt.Errorf("%w: %v", ErrHub, err)
 			}
 			if err := f.Close(); err != nil {

@@ -193,7 +193,8 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	s.mu.RUnlock()
 	sort.Slice(out, func(a, b int) bool { return out[a].Name < out[b].Name })
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(out)
+	//mhlint:ignore errcheck a response-write failure means the client went away; nothing to do
+	_ = json.NewEncoder(w).Encode(out)
 }
 
 func matchModels(models []string, q string) bool {
@@ -228,5 +229,6 @@ func (s *Server) handlePull(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/gzip")
-	w.Write(blob)
+	//mhlint:ignore errcheck a response-write failure means the client went away; nothing to do
+	_, _ = w.Write(blob)
 }

@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// apihygiene keeps library packages embeddable: a package under
+// <module>/internal/ is linked into the server, the CLI, and tests alike,
+// so it must never write to process-global streams or kill the process.
+//
+//   - fmt.Print / fmt.Printf / fmt.Println write to stdout — return values
+//     or accept an io.Writer instead;
+//   - log.Fatal* / log.Panic* / os.Exit terminate the caller's process;
+//   - panic is reserved for documented invariant checks: allowed only when
+//     the enclosing function's doc comment says it panics.
+var analyzerAPIHygiene = &Analyzer{
+	Name: "apihygiene",
+	Doc:  "stdout writes, process exits, and undocumented panics in library packages",
+	Run:  runAPIHygiene,
+}
+
+// fatalCallees terminate or bypass the caller's control flow.
+var fatalCallees = map[string]string{
+	"fmt.Print":   "writes to stdout",
+	"fmt.Printf":  "writes to stdout",
+	"fmt.Println": "writes to stdout",
+	"log.Fatal":   "exits the process",
+	"log.Fatalf":  "exits the process",
+	"log.Fatalln": "exits the process",
+	"log.Panic":   "panics with global logging",
+	"log.Panicf":  "panics with global logging",
+	"log.Panicln": "panics with global logging",
+	"os.Exit":     "exits the process",
+	"log.Print":   "writes to the global logger",
+	"log.Printf":  "writes to the global logger",
+	"log.Println": "writes to the global logger",
+}
+
+func runAPIHygiene(pass *Pass) {
+	if !pass.InLibrary() {
+		return
+	}
+	eachFuncDecl(pass.Files, func(fd *ast.FuncDecl) {
+		if fd.Body == nil {
+			return
+		}
+		panicDocumented := fd.Doc != nil && strings.Contains(strings.ToLower(fd.Doc.Text()), "panic")
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if why, bad := fatalCallees[calleePath(pass.Info, call)]; bad {
+				pass.Reportf(call.Pos(), "%s %s; library code must not", calleePath(pass.Info, call), why)
+				return true
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				if _, builtin := pass.Info.Uses[id].(*types.Builtin); builtin && !panicDocumented {
+					pass.Reportf(call.Pos(), "panic outside a documented invariant check; return an error or document the panic in %s's doc comment", fd.Name.Name)
+				}
+			}
+			return true
+		})
+	})
+}

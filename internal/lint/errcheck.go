@@ -1,0 +1,185 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// errcheck enforces error hygiene in library packages (<module>/internal/):
+// checkout and archival paths must propagate I/O and decode errors, never
+// drop them.
+//
+//   - a call whose (last) result is an error must not be used as a bare
+//     statement;
+//   - an error result must not be assigned to the blank identifier;
+//   - fmt.Errorf with an error-typed argument must wrap with %w somewhere
+//     in the format, so errors.Is/As keep working through the wrap.
+//
+// Deferred calls are exempt (the `defer f.Close()` read-path idiom), as are
+// error-free-by-contract writers: bytes.Buffer, strings.Builder, hash.Hash,
+// and math/rand readers.
+var analyzerErrcheck = &Analyzer{
+	Name: "errcheck",
+	Doc:  "discarded error returns and fmt.Errorf wrapping without %w in internal packages",
+	Run:  runErrcheck,
+}
+
+func runErrcheck(pass *Pass) {
+	if !pass.InLibrary() {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkBareCall(pass, call)
+				}
+			case *ast.AssignStmt:
+				checkBlankErr(pass, n)
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// errFreeCallees never fail by documented contract.
+var errFreeCallees = map[string]bool{
+	"math/rand.Read": true,
+}
+
+// errFreeRecvs are receiver types whose methods never return a non-nil
+// error by documented contract.
+var errFreeRecvs = map[string]bool{
+	"bytes.Buffer":    true,
+	"strings.Builder": true,
+	"hash.Hash":       true,
+	"math/rand.Rand":  true,
+}
+
+// errFreeWriters are fmt.Fprint* targets that never fail.
+var errFreeWriters = map[string]bool{
+	"bytes.Buffer":    true,
+	"strings.Builder": true,
+}
+
+// callErrFree reports whether a call's error can be ignored by contract.
+func callErrFree(info *types.Info, call *ast.CallExpr) bool {
+	if errFreeCallees[calleePath(info, call)] {
+		return true
+	}
+	if errFreeRecvs[recvNamed(info, call)] {
+		return true
+	}
+	if path := calleePath(info, call); strings.HasPrefix(path, "fmt.Fprint") && len(call.Args) > 0 {
+		t := info.TypeOf(call.Args[0])
+		if p, ok := types.Unalias(t).(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := types.Unalias(t).(*types.Named); ok && named.Obj().Pkg() != nil {
+			return errFreeWriters[named.Obj().Pkg().Path()+"."+named.Obj().Name()]
+		}
+	}
+	return false
+}
+
+// errResultIndexes returns the positions of error-typed results of a call.
+func errResultIndexes(info *types.Info, call *ast.CallExpr) (idx []int, n int) {
+	t := info.TypeOf(call)
+	if t == nil {
+		return nil, 0
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isErrorType(tuple.At(i).Type()) {
+				idx = append(idx, i)
+			}
+		}
+		return idx, tuple.Len()
+	}
+	if isErrorType(t) {
+		return []int{0}, 1
+	}
+	return nil, 1
+}
+
+func checkBareCall(pass *Pass, call *ast.CallExpr) {
+	idx, _ := errResultIndexes(pass.Info, call)
+	if len(idx) == 0 || callErrFree(pass.Info, call) {
+		return
+	}
+	pass.Reportf(call.Pos(), "unchecked error return from %s", callName(pass.Info, call))
+}
+
+// checkBlankErr flags `v, _ := f()` where the blanked result is an error.
+func checkBlankErr(pass *Pass, as *ast.AssignStmt) {
+	isBlank := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "_"
+	}
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || callErrFree(pass.Info, call) {
+			return
+		}
+		idx, n := errResultIndexes(pass.Info, call)
+		if n != len(as.Lhs) {
+			return
+		}
+		for _, i := range idx {
+			if isBlank(as.Lhs[i]) {
+				pass.Reportf(as.Lhs[i].Pos(), "error result of %s discarded with _", callName(pass.Info, call))
+			}
+		}
+		return
+	}
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, rhs := range as.Rhs {
+		if !isBlank(as.Lhs[i]) {
+			continue
+		}
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || callErrFree(pass.Info, call) {
+			continue
+		}
+		if isErrorType(pass.Info.TypeOf(rhs)) {
+			pass.Reportf(as.Lhs[i].Pos(), "error result of %s discarded with _", callName(pass.Info, call))
+		}
+	}
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that take an error argument but
+// never use %w in the format string.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	if calleePath(pass.Info, call) != "fmt.Errorf" || len(call.Args) < 2 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || strings.Contains(lit.Value, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		if isErrorType(pass.Info.TypeOf(arg)) {
+			pass.Reportf(call.Pos(), "fmt.Errorf has error argument %s but no %%w verb; wrap it so errors.Is keeps working", types.ExprString(arg))
+			return
+		}
+	}
+}
+
+// callName renders the callee for diagnostics.
+func callName(info *types.Info, call *ast.CallExpr) string {
+	if r := recvNamed(info, call); r != "" {
+		if obj := calleeObj(info, call); obj != nil {
+			return "(" + r + ")." + obj.Name()
+		}
+	}
+	if p := calleePath(info, call); p != "" {
+		return p
+	}
+	return types.ExprString(call.Fun)
+}

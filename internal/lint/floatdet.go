@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// floatdet protects the bit-identical-results guarantees of the numeric
+// packages: PR 2's GEMM kernels and parallel enumeration are bit-exact at
+// any worker count precisely because accumulation order is fixed. A `range`
+// over a map whose body accumulates into a float declared outside the loop
+// reintroduces nondeterminism — Go randomizes map iteration order, and
+// float addition does not commute in rounding.
+//
+// Scope: the packages carrying numeric determinism guarantees
+// (internal/tensor, internal/dnn, internal/pas). The fix is to iterate
+// sorted keys.
+var analyzerFloatdet = &Analyzer{
+	Name: "floatdet",
+	Doc:  "map-ordered float accumulation in the deterministic numeric packages",
+	Run:  runFloatdet,
+}
+
+// floatdetSuffixes are the package paths (relative to the module) under the
+// determinism contract.
+var floatdetSuffixes = []string{"/internal/tensor", "/internal/dnn", "/internal/pas"}
+
+func runFloatdet(pass *Pass) {
+	covered := false
+	for _, suf := range floatdetSuffixes {
+		if strings.HasSuffix(pass.Path, suf) {
+			covered = true
+			break
+		}
+	}
+	if !covered {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.Info.TypeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRangeBody(pass, rng)
+			return true
+		})
+	}
+}
+
+// checkMapRangeBody flags float accumulation into loop-external variables
+// inside a map-range body.
+func checkMapRangeBody(pass *Pass, rng *ast.RangeStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			reportIfFloatAccum(pass, rng, as.Lhs[0])
+		case token.ASSIGN:
+			// x = x + v style accumulation.
+			for i, lhs := range as.Lhs {
+				if i >= len(as.Rhs) {
+					break
+				}
+				if bin, ok := ast.Unparen(as.Rhs[i]).(*ast.BinaryExpr); ok && exprMentions(bin, lhs) {
+					reportIfFloatAccum(pass, rng, lhs)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// reportIfFloatAccum reports when lhs is a float lvalue rooted at a
+// variable declared outside the range statement.
+func reportIfFloatAccum(pass *Pass, rng *ast.RangeStmt, lhs ast.Expr) {
+	t := pass.Info.TypeOf(lhs)
+	basic, ok := t.(*types.Basic)
+	if !ok || basic.Info()&types.IsFloat == 0 {
+		return
+	}
+	root := rootIdent(lhs)
+	if root == nil {
+		return
+	}
+	obj := pass.Info.Uses[root]
+	if obj == nil {
+		obj = pass.Info.Defs[root]
+	}
+	if obj == nil {
+		return
+	}
+	if obj.Pos() >= rng.Pos() && obj.Pos() < rng.End() {
+		return // loop-local accumulator: reset each iteration, order-free
+	}
+	pass.Reportf(lhs.Pos(), "float accumulation into %s under map iteration order; iterate sorted keys for bit-identical results", types.ExprString(lhs))
+}
+
+// rootIdent returns the base identifier of an lvalue (x, x.f, x[i], *x).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// exprMentions reports whether the expression tree contains a sub-expression
+// textually identical to target.
+func exprMentions(e ast.Expr, target ast.Expr) bool {
+	want := types.ExprString(target)
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if sub, ok := n.(ast.Expr); ok && types.ExprString(sub) == want {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// gohygiene enforces the goroutine discipline PR 2 established for the
+// training and retrieval runtimes: library packages never leak unjoinable
+// goroutines and never synchronize by sleeping.
+//
+//   - every `go` launch in <module>/internal/ must be visibly tied to a
+//     completion mechanism: the goroutine body (or the same-package
+//     function it calls) must touch a sync.WaitGroup, operate on a
+//     channel, or select;
+//   - time.Sleep is banned in library code — sleeping is not
+//     synchronization.
+var analyzerGohygiene = &Analyzer{
+	Name: "gohygiene",
+	Doc:  "bare goroutine launches and time.Sleep synchronization in library packages",
+	Run:  runGohygiene,
+}
+
+func runGohygiene(pass *Pass) {
+	if !pass.InLibrary() {
+		return
+	}
+	bodies := funcBodies(pass.Info, pass.Files)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				checkGoStmt(pass, n, bodies)
+			case *ast.CallExpr:
+				if calleePath(pass.Info, n) == "time.Sleep" {
+					pass.Reportf(n.Pos(), "time.Sleep in library code: sleeping is not synchronization")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkGoStmt verifies a goroutine launch is tied to a WaitGroup, channel,
+// or select — either in its function-literal body or in the body of the
+// same-package function it invokes.
+func checkGoStmt(pass *Pass, g *ast.GoStmt, bodies map[types.Object]*ast.BlockStmt) {
+	var body ast.Node
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		body = fun.Body
+	default:
+		if obj := calleeObj(pass.Info, g.Call); obj != nil {
+			if b, ok := bodies[obj]; ok {
+				body = b
+			}
+		}
+	}
+	if body == nil {
+		pass.Reportf(g.Pos(), "goroutine launch whose body cannot be inspected; tie it to a WaitGroup or bounded pool")
+		return
+	}
+	if !usesCompletionMechanism(pass.Info, body) {
+		pass.Reportf(g.Pos(), "bare goroutine launch: body uses no WaitGroup, channel, or select, so nothing can join or bound it")
+	}
+}
+
+// usesCompletionMechanism looks for any WaitGroup method call, channel
+// operation, select, or close() in the body.
+func usesCompletionMechanism(info *types.Info, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if recvNamed(info, n) == "sync.WaitGroup" {
+				found = true
+			}
+			if obj := calleeObj(info, n); obj != nil {
+				if b, ok := obj.(*types.Builtin); ok && b.Name() == "close" {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,280 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package of the module under analysis.
+// Only non-test files are loaded: the hygiene invariants target shipping
+// code, and test packages may deliberately violate them (fixtures, fault
+// injection).
+type Package struct {
+	Module string
+	Path   string
+	Dir    string
+	Fset   *token.FileSet
+	Files  []*ast.File
+	Types  *types.Package
+	Info   *types.Info
+}
+
+// Load parses and type-checks the module rooted at dir (the directory
+// holding go.mod, or any directory below it) for the given package
+// patterns. Patterns follow the go tool's shape: "./..." for the whole
+// module, "./internal/pas/..." for a subtree, "./internal/pas" for one
+// package.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &loader{
+		fset:    token.NewFileSet(),
+		module:  modPath,
+		root:    root,
+		dirs:    map[string]string{},
+		pkgs:    map[string]*Package{},
+		loading: map[string]bool{},
+	}
+	l.std = importer.ForCompiler(l.fset, "source", nil)
+	if err := l.discover(); err != nil {
+		return nil, err
+	}
+	want, err := l.selectPaths(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, path := range want {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// findModule walks upward from dir to the directory containing go.mod and
+// extracts the module path.
+func findModule(dir string) (root, module string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for cur := abs; ; cur = filepath.Dir(cur) {
+		data, err := os.ReadFile(filepath.Join(cur, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return cur, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module line", cur)
+		}
+		if filepath.Dir(cur) == cur {
+			return "", "", fmt.Errorf("lint: no go.mod above %s", abs)
+		}
+	}
+}
+
+type loader struct {
+	fset    *token.FileSet
+	module  string
+	root    string
+	dirs    map[string]string // import path -> directory
+	pkgs    map[string]*Package
+	loading map[string]bool // cycle guard
+	std     types.Importer
+}
+
+// discover indexes every package directory of the module.
+func (l *loader) discover() error {
+	return filepath.WalkDir(l.root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		if len(l.sourceFiles(path)) == 0 {
+			return nil
+		}
+		rel, err := filepath.Rel(l.root, path)
+		if err != nil {
+			return err
+		}
+		imp := l.module
+		if rel != "." {
+			imp = l.module + "/" + filepath.ToSlash(rel)
+		}
+		l.dirs[imp] = path
+		return nil
+	})
+}
+
+// sourceFiles lists the non-test .go files of a directory.
+func (l *loader) sourceFiles(dir string) []string {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var out []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		out = append(out, filepath.Join(dir, name))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// selectPaths expands patterns against the discovered package index.
+func (l *loader) selectPaths(patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := map[string]bool{}
+	var out []string
+	for _, pat := range patterns {
+		matched := false
+		for _, imp := range sortedPathKeys(l.dirs) {
+			if !matchPattern(l.module, pat, imp) {
+				continue
+			}
+			matched = true
+			if !seen[imp] {
+				seen[imp] = true
+				out = append(out, imp)
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("lint: pattern %q matched no packages", pat)
+		}
+	}
+	return out, nil
+}
+
+// matchPattern reports whether the import path matches one go-style
+// pattern, resolved relative to the module root.
+func matchPattern(module, pat, imp string) bool {
+	pat = strings.TrimSuffix(strings.TrimPrefix(pat, "./"), "/")
+	if pat == "" || pat == "." {
+		pat = module
+	} else if !strings.HasPrefix(pat, module) {
+		pat = module + "/" + pat
+	}
+	if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+		return imp == rest || strings.HasPrefix(imp, rest+"/")
+	}
+	if pat == module+"/..." { // "..." alone
+		return true
+	}
+	return imp == pat
+}
+
+func sortedPathKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// load parses and type-checks one module package (memoized).
+func (l *loader) load(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir, ok := l.dirs[path]
+	if !ok {
+		return nil, fmt.Errorf("lint: no package %s in module %s", path, l.module)
+	}
+	var files []*ast.File
+	for _, name := range l.sourceFiles(dir) {
+		f, err := parser.ParseFile(l.fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: package %s has no source files", path)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: importerFunc(l.importPath),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		err = typeErrs[0] // the collector saw every error; the first is the root cause
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	pkg := &Package{
+		Module: l.module,
+		Path:   path,
+		Dir:    dir,
+		Fset:   l.fset,
+		Files:  files,
+		Types:  tpkg,
+		Info:   info,
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// importPath resolves an import: module-internal packages recurse through
+// the loader; everything else must be stdlib and goes through the source
+// importer (this module is dependency-free by policy).
+func (l *loader) importPath(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.module || strings.HasPrefix(path, l.module+"/") {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
