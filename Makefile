@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: build vet fmt-check lint test test-race fuzz-smoke bench bench-train check help
+.PHONY: build vet fmt-check lint test test-race fuzz-smoke obs-smoke bench bench-train check help
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,12 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzDQLParse -fuzztime=$(FUZZTIME) ./internal/dql
 	$(GO) test -run='^$$' -fuzz=FuzzSegmentRoundTrip -fuzztime=$(FUZZTIME) ./internal/floatenc
 
+# End-to-end observability check: start modelhub-server -metrics, publish +
+# pull a tiny archived repo, scrape /metrics, assert well-formed JSON with
+# nonzero hub.http.* and pas.* counters, and hit /debug/pprof/.
+obs-smoke:
+	bash scripts/obs_smoke.sh
+
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
 
@@ -52,6 +58,7 @@ help:
 	@echo "test        - go test ./..."
 	@echo "test-race   - go test -race ./..."
 	@echo "fuzz-smoke  - short fuzz runs (FUZZTIME=$(FUZZTIME))"
+	@echo "obs-smoke   - live /metrics + pprof scrape against a real server"
 	@echo "bench       - run all benchmarks once"
 	@echo "bench-train - training-substrate kernel benchmarks"
 	@echo "check       - build + vet + fmt-check + lint + test + test-race"

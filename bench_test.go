@@ -30,6 +30,7 @@ import (
 	"modelhub/internal/dql"
 	"modelhub/internal/experiments"
 	"modelhub/internal/floatenc"
+	"modelhub/internal/obs"
 	"modelhub/internal/pas"
 	"modelhub/internal/perturb"
 	"modelhub/internal/synth"
@@ -395,6 +396,58 @@ func BenchmarkRetrievalSchemes(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkObsOverhead proves the observability layer's disabled path is
+// near-free on the PAS retrieval hot path: "disabled" runs with the global
+// gate off (every metric op is one atomic load + branch), "enabled" with
+// full counters/histograms live. The disabled number must stay within noise
+// of the pre-obs baseline.
+func BenchmarkObsOverhead(b *testing.B) {
+	rng := rand.New(rand.NewSource(31))
+	base := map[string]*tensor.Matrix{}
+	for m := 0; m < 6; m++ {
+		base[fmt.Sprintf("layer%d", m)] = tensor.RandNormal(rng, 48, 120, 0.1)
+	}
+	var snaps []pas.SnapshotIn
+	cur := base
+	for i := 0; i < 6; i++ {
+		snap := pas.SnapshotIn{ID: fmt.Sprintf("s%d", i), Matrices: map[string]*tensor.Matrix{}}
+		for name, m := range cur {
+			snap.Matrices[name] = m.Perturb(rng, 1e-3)
+		}
+		snaps = append(snaps, snap)
+		cur = snap.Matrices
+	}
+	dir, err := os.MkdirTemp("", "bench-obs-*")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { os.RemoveAll(dir) })
+	if _, err := pas.Create(dir, snaps, pas.Options{Algorithm: "mst"}); err != nil {
+		b.Fatal(err)
+	}
+	last := snaps[len(snaps)-1].ID
+	for _, mode := range []string{"disabled", "enabled"} {
+		b.Run(mode, func(b *testing.B) {
+			if mode == "enabled" {
+				obs.Enable()
+				defer obs.Disable()
+			} else {
+				obs.Disable()
+			}
+			st, err := pas.Open(dir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := st.GetSnapshot(last, 4, pas.Concurrent); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -5,6 +5,8 @@
 //
 // Usage:
 //
+//	dlv [-v] [-log-level debug|info|warn|error] <command> [flags]
+//
 //	dlv init
 //	dlv add     FILE...
 //	dlv train   -name NAME [-arch lenet|alexnet-mini|vgg-mini] [-epochs N] [-lr F] [-parent ID]
@@ -27,6 +29,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"sort"
 	"strconv"
@@ -37,25 +40,58 @@ import (
 	"modelhub/internal/dlv"
 	"modelhub/internal/dnn"
 	"modelhub/internal/floatenc"
+	"modelhub/internal/obs"
 	"modelhub/internal/pas"
 	"modelhub/internal/report"
 	"modelhub/internal/tensor"
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	// Global flags come before the subcommand (flag parsing stops at the
+	// first non-flag argument): dlv [-v] [-log-level LEVEL] <command> ...
+	global := flag.NewFlagSet("dlv", flag.ExitOnError)
+	verbose := global.Bool("v", false, "log to stderr at info level")
+	logLevel := global.String("log-level", "", "log to stderr at this level (debug, info, warn, error)")
+	global.Usage = func() {
+		usage()
+		global.PrintDefaults()
+	}
+	//mhlint:ignore errcheck ExitOnError makes Parse exit on failure
+	_ = global.Parse(os.Args[1:])
+	if global.NArg() < 1 {
 		usage()
 		os.Exit(2)
 	}
-	cmd, args := os.Args[1], os.Args[2:]
+	if err := configureLogging(*verbose, *logLevel); err != nil {
+		fmt.Fprintln(os.Stderr, "dlv:", err)
+		os.Exit(2)
+	}
+	cmd, args := global.Arg(0), global.Args()[1:]
 	if err := run(cmd, args); err != nil {
 		fmt.Fprintln(os.Stderr, "dlv:", err)
 		os.Exit(1)
 	}
 }
 
+// configureLogging installs a stderr slog handler when -v or -log-level is
+// given; otherwise the obs default (silent) stays in place.
+func configureLogging(verbose bool, level string) error {
+	if !verbose && level == "" {
+		return nil
+	}
+	lvl := slog.LevelInfo
+	if level != "" {
+		var err error
+		if lvl, err = obs.ParseLevel(level); err != nil {
+			return err
+		}
+	}
+	obs.SetLogger(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})))
+	return nil
+}
+
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: dlv <command> [flags]
+	fmt.Fprintln(os.Stderr, `usage: dlv [-v] [-log-level LEVEL] <command> [flags]
 commands: init add train copy list desc diff archive eval history plot query publish search pull`)
 }
 

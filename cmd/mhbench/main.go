@@ -8,6 +8,7 @@
 //	mhbench -exp all            # every experiment
 //	mhbench -exp fig6a          # one of: tab1 fig6a fig6b fig6c fig6d tab4 tab5 retrieval training ablations
 //	mhbench -exp fig6c -scale 3 # scale up the synthetic workloads
+//	mhbench -exp all -metrics BENCH_metrics.json  # dump the obs registry after the run
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"os"
 
 	"modelhub/internal/experiments"
+	"modelhub/internal/obs"
 	"modelhub/internal/synth"
 )
 
@@ -24,7 +26,13 @@ func main() {
 	exp := flag.String("exp", "all", "experiment: all tab1 fig6a fig6b fig6c fig6d tab4 tab5 retrieval training scale ablations")
 	scale := flag.Int("scale", 1, "workload scale multiplier for synthetic experiments")
 	seed := flag.Int64("seed", 1, "random seed")
+	metricsFile := flag.String("metrics", "", "enable the obs registry and write its JSON snapshot to this file on exit")
 	flag.Parse()
+
+	if *metricsFile != "" {
+		obs.Enable()
+		defer writeMetrics(*metricsFile)
+	}
 
 	run := func(name string, f func() error) {
 		if *exp != "all" && *exp != name {
@@ -197,4 +205,17 @@ func main() {
 		experiments.PrintAblationGranularity(os.Stdout, gran)
 		return nil
 	})
+}
+
+// writeMetrics dumps the obs registry snapshot collected across the run —
+// the live counterpart of the BENCH_*.json result files.
+func writeMetrics(path string) {
+	blob, err := obs.SnapshotJSON()
+	if err != nil {
+		log.Fatalf("mhbench: snapshotting metrics: %v", err)
+	}
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		log.Fatalf("mhbench: writing %s: %v", path, err)
+	}
+	fmt.Printf("wrote metrics snapshot to %s\n", path)
 }

@@ -4,28 +4,77 @@
 //
 // Usage:
 //
-//	modelhub-server [-addr :8080] [-data DIR]
+//	modelhub-server [-addr :8080] [-data DIR] [-metrics] [-v] [-log-level LEVEL]
+//
+// With -metrics, the live metrics registry is enabled and served as JSON at
+// /metrics (expvar-style flat keys), and the net/http/pprof profiling
+// handlers are mounted under /debug/pprof/. With -v (or -log-level), hub
+// request logs go to stderr via log/slog.
 package main
 
 import (
 	"flag"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
+	"os"
 
 	"modelhub/internal/hub"
+	"modelhub/internal/obs"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	dataDir := flag.String("data", "modelhub-data", "directory for published repositories")
+	metrics := flag.Bool("metrics", false, "enable the metrics registry; serve /metrics and /debug/pprof/")
+	verbose := flag.Bool("v", false, "log requests to stderr at info level")
+	logLevel := flag.String("log-level", "", "log to stderr at this level (debug, info, warn, error)")
 	flag.Parse()
 
+	if err := configureLogging(*verbose, *logLevel); err != nil {
+		log.Fatalf("modelhub-server: %v", err)
+	}
 	srv, err := hub.NewServer(*dataDir)
 	if err != nil {
 		log.Fatalf("modelhub-server: %v", err)
 	}
 	log.Printf("modelhub-server listening on %s, storing repositories in %s", *addr, *dataDir)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+	if err := http.ListenAndServe(*addr, newMux(srv, *metrics)); err != nil {
 		log.Fatalf("modelhub-server: %v", err)
 	}
+}
+
+// configureLogging installs a stderr slog handler when -v or -log-level is
+// given; otherwise the obs default (silent) stays in place.
+func configureLogging(verbose bool, level string) error {
+	if !verbose && level == "" {
+		return nil
+	}
+	lvl := slog.LevelInfo
+	if level != "" {
+		var err error
+		if lvl, err = obs.ParseLevel(level); err != nil {
+			return err
+		}
+	}
+	obs.SetLogger(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})))
+	return nil
+}
+
+// newMux mounts the hub API and, when metrics is set, enables the obs
+// registry and adds the /metrics and /debug/pprof/ endpoints.
+func newMux(srv *hub.Server, metrics bool) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	if metrics {
+		obs.Enable()
+		mux.Handle("/metrics", obs.Handler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
 }

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"modelhub/internal/hub"
+	"modelhub/internal/obs"
+)
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resp.Body.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+func TestServerMuxWithMetrics(t *testing.T) {
+	defer obs.Disable() // newMux(_, true) enables the global gate
+	srv, err := hub.NewServer(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newMux(srv, true))
+	defer ts.Close()
+
+	// The hub API answers through the mux.
+	if code, _ := get(t, ts.URL+"/api/search?q="); code != http.StatusOK {
+		t.Fatalf("/api/search status = %d", code)
+	}
+	// /metrics returns well-formed JSON with the request just counted.
+	code, body := get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	var metrics map[string]any
+	if err := json.Unmarshal(body, &metrics); err != nil {
+		t.Fatalf("/metrics is not valid JSON: %v", err)
+	}
+	if v, _ := metrics["hub.http.requests"].(float64); v < 1 {
+		t.Fatalf("hub.http.requests = %v, want >= 1", metrics["hub.http.requests"])
+	}
+	// pprof is mounted.
+	if code, _ := get(t, ts.URL+"/debug/pprof/"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status = %d", code)
+	}
+}
+
+func TestServerMuxWithoutMetrics(t *testing.T) {
+	srv, err := hub.NewServer(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newMux(srv, false))
+	defer ts.Close()
+	if code, _ := get(t, ts.URL+"/metrics"); code != http.StatusNotFound {
+		t.Fatalf("/metrics without -metrics: status = %d, want 404", code)
+	}
+	if code, _ := get(t, ts.URL+"/debug/pprof/"); code != http.StatusNotFound {
+		t.Fatalf("/debug/pprof/ without -metrics: status = %d, want 404", code)
+	}
+}
+
+func TestConfigureLogging(t *testing.T) {
+	defer obs.SetLogger(nil)
+	if err := configureLogging(false, ""); err != nil {
+		t.Fatalf("default logging: %v", err)
+	}
+	if err := configureLogging(true, ""); err != nil {
+		t.Fatalf("-v: %v", err)
+	}
+	if err := configureLogging(false, "debug"); err != nil {
+		t.Fatalf("-log-level debug: %v", err)
+	}
+	if err := configureLogging(false, "shout"); err == nil {
+		t.Fatal("bad -log-level accepted")
+	}
+}

@@ -131,6 +131,7 @@ func (m *ModelHub) TrainAndCommit(name string, opts TrainOptions) (int64, error)
 		Momentum:        opts.Momentum,
 		CheckpointEvery: opts.CheckpointEvery,
 		Seed:            opts.Seed + 2,
+		EpochHook:       dnn.ObsEpochHook(),
 	})
 	if err != nil {
 		return 0, err

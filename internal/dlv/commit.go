@@ -11,6 +11,7 @@ import (
 
 	"modelhub/internal/catalog"
 	"modelhub/internal/dnn"
+	"modelhub/internal/obs"
 	"modelhub/internal/tensor"
 )
 
@@ -45,6 +46,7 @@ type CommitInput struct {
 
 // Commit records a new model version and returns its id.
 func (r *Repo) Commit(in CommitInput) (int64, error) {
+	defer obs.StartRoot("dlv.commit").End()
 	if in.Name == "" {
 		return 0, fmt.Errorf("%w: commit needs a model name", ErrRepo)
 	}

@@ -7,6 +7,7 @@ import (
 
 	"modelhub/internal/catalog"
 	"modelhub/internal/floatenc"
+	"modelhub/internal/obs"
 	"modelhub/internal/pas"
 	"modelhub/internal/tensor"
 )
@@ -204,6 +205,7 @@ func (r *Repo) setArchive(store *pas.Store) {
 // selects the byte-plane resolution (4 = exact); raw (unarchived) snapshots
 // only support prefix 4.
 func (r *Repo) Weights(versionID int64, snap string, prefix int) (map[string]*tensor.Matrix, error) {
+	defer obs.StartRoot("dlv.checkout").End()
 	v, err := r.Version(versionID)
 	if err != nil {
 		return nil, err

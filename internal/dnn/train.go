@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"modelhub/internal/tensor"
 )
@@ -37,6 +38,16 @@ type TrainResult struct {
 	Final       map[string]*tensor.Matrix
 }
 
+// EpochStats summarizes one completed (possibly MaxIters-truncated) epoch,
+// delivered to TrainConfig.EpochHook.
+type EpochStats struct {
+	Epoch    int           // zero-based epoch index
+	Loss     float64       // mean per-example loss over the epoch
+	Accuracy float64       // training accuracy over the epoch
+	Examples int           // examples consumed this epoch
+	Duration time.Duration // wall time of the epoch
+}
+
 // TrainConfig drives Train. Zero values get sensible defaults.
 type TrainConfig struct {
 	Epochs          int
@@ -50,6 +61,10 @@ type TrainConfig struct {
 	// LayerLR overrides the learning rate per layer name (see SGD.LayerLR).
 	LayerLR map[string]float64
 	Seed    int64
+	// EpochHook, when non-nil, is called after every epoch (including a
+	// partial epoch cut short by MaxIters) with that epoch's summary. Use
+	// ObsEpochHook to publish the summaries as obs metrics.
+	EpochHook func(EpochStats)
 }
 
 func (c TrainConfig) withDefaults() TrainConfig {
@@ -95,6 +110,12 @@ func Train(n *Network, examples []Example, cfg TrainConfig) (*TrainResult, error
 	}
 epochs:
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		var epochStart time.Time
+		var epochLoss float64
+		var epochCorrect, epochSeen int
+		if cfg.EpochHook != nil {
+			epochStart = time.Now()
+		}
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		for start := 0; start < len(order); start += cfg.BatchSize {
 			end := start + cfg.BatchSize
@@ -107,8 +128,11 @@ epochs:
 				loss, correct := n.LossAndBackward(ex.Input, ex.Label)
 				runLoss += loss
 				runSeen++
+				epochLoss += loss
+				epochSeen++
 				if correct {
 					runCorrect++
+					epochCorrect++
 				}
 			}
 			opt.Step(n, end-start)
@@ -126,12 +150,28 @@ epochs:
 				res.Checkpoints = append(res.Checkpoints, Checkpoint{Iter: iter, Weights: n.Snapshot()})
 			}
 			if cfg.MaxIters > 0 && iter >= cfg.MaxIters {
+				callEpochHook(cfg, epoch, epochLoss, epochCorrect, epochSeen, epochStart)
 				break epochs
 			}
 		}
+		callEpochHook(cfg, epoch, epochLoss, epochCorrect, epochSeen, epochStart)
 	}
 	res.Final = n.Snapshot()
 	return res, nil
+}
+
+// callEpochHook delivers one epoch summary to cfg.EpochHook, if any.
+func callEpochHook(cfg TrainConfig, epoch int, loss float64, correct, seen int, start time.Time) {
+	if cfg.EpochHook == nil || seen == 0 {
+		return
+	}
+	cfg.EpochHook(EpochStats{
+		Epoch:    epoch,
+		Loss:     loss / float64(seen),
+		Accuracy: float64(correct) / float64(seen),
+		Examples: seen,
+		Duration: time.Since(start),
+	})
 }
 
 // Evaluate returns the classification accuracy of n over the examples.

@@ -12,6 +12,7 @@ import (
 
 	"modelhub/internal/data"
 	"modelhub/internal/dnn"
+	"modelhub/internal/obs"
 )
 
 // EvalConfig is the tuning config template of an evaluate statement (`with
@@ -67,6 +68,7 @@ var autoGrids = map[string][]Value{
 // combinations, train each for the keep clause's iteration budget, and keep
 // the survivors.
 func (e *Engine) execEvaluate(s *EvaluateStmt) ([]Candidate, error) {
+	defer obs.StartRoot("dql.evaluate").End()
 	defs, err := e.candidateDefs(s)
 	if err != nil {
 		return nil, err
@@ -111,20 +113,23 @@ func (e *Engine) execEvaluate(s *EvaluateStmt) ([]Candidate, error) {
 	}
 	if workers <= 1 {
 		for i, j := range jobs {
+			jobStart := obsNow()
 			cand, err := e.trainCandidate(j.def, j.cfg, s.Keep.Iters)
 			if err != nil {
 				return nil, err
 			}
+			countCandidate(jobStart)
 			results[i] = cand
 		}
 		return applyKeep(results, s.Keep)
 	}
 	var (
-		next     atomic.Int64
-		wg       sync.WaitGroup
-		errOnce  sync.Once
-		firstErr error
-		canceled = make(chan struct{})
+		next      atomic.Int64
+		wg        sync.WaitGroup
+		errOnce   sync.Once
+		firstErr  error
+		canceled  = make(chan struct{})
+		poolStart = obsNow()
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -140,6 +145,8 @@ func (e *Engine) execEvaluate(s *EvaluateStmt) ([]Candidate, error) {
 					return
 				default:
 				}
+				observeQueueWait(poolStart)
+				jobStart := obsNow()
 				cand, err := e.trainCandidate(jobs[i].def, jobs[i].cfg, s.Keep.Iters)
 				if err != nil {
 					errOnce.Do(func() {
@@ -148,6 +155,7 @@ func (e *Engine) execEvaluate(s *EvaluateStmt) ([]Candidate, error) {
 					})
 					return
 				}
+				countCandidate(jobStart)
 				results[i] = cand
 			}
 		}()
@@ -280,6 +288,7 @@ func (e *Engine) trainCandidate(def *dnn.NetDef, cfg EvalConfig, iters int) (Can
 		LogEvery:  max(1, iters/4),
 		LayerLR:   layerLR,
 		Seed:      e.Seed + 2,
+		EpochHook: dnn.ObsEpochHook(),
 	})
 	if err != nil {
 		return Candidate{}, err

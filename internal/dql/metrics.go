@@ -1,0 +1,43 @@
+package dql
+
+import (
+	"time"
+
+	"modelhub/internal/obs"
+)
+
+// Evaluate-statement metrics (see DESIGN.md §8): how many candidates the
+// grid enumeration trained, how long the workers were busy, and how long
+// jobs waited in the queue before a worker claimed them.
+var (
+	mCandidatesTrained = obs.GetCounter("dql.candidates.trained")
+	mWorkerBusyNS      = obs.GetCounter("dql.worker.busy_ns")
+	hQueueWaitSeconds  = obs.GetHistogram("dql.queue.wait_seconds")
+)
+
+// obsNow reads the clock only when obs is enabled; the zero Time marks a
+// disabled observation so the matching observe helpers stay free.
+func obsNow() time.Time {
+	if !obs.Enabled() {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// observeQueueWait records how long a job sat enqueued (claim time minus
+// pool start) before a worker picked it up.
+func observeQueueWait(poolStart time.Time) {
+	if poolStart.IsZero() {
+		return
+	}
+	hQueueWaitSeconds.Observe(time.Since(poolStart).Seconds())
+}
+
+// countCandidate records one trained candidate and bills its training time
+// to the worker-busy counter.
+func countCandidate(start time.Time) {
+	mCandidatesTrained.Inc()
+	if !start.IsZero() {
+		mWorkerBusyNS.Add(time.Since(start).Nanoseconds())
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"modelhub/internal/dlv"
+	"modelhub/internal/obs"
 )
 
 // maxPublishBytes bounds one published archive (compressed).
@@ -99,12 +100,20 @@ func validateName(name string) error {
 //	POST /api/publish?name=N   (body: tar.gz)  -> 200
 //	GET  /api/search?q=substr                  -> JSON []RepoInfo
 //	GET  /api/pull?name=N                      -> tar.gz
+//
+// The mux is wrapped in the obs middleware stack: panic recovery is always
+// active (a panicking handler yields a 500 with an ErrHub body instead of a
+// dead connection), and request metrics under hub.http.* plus structured
+// request logs follow the global obs gate.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/api/publish", s.handlePublish)
 	mux.HandleFunc("/api/search", s.handleSearch)
 	mux.HandleFunc("/api/pull", s.handlePull)
-	return mux
+	return obs.WrapHandler(mux, obs.MiddlewareOptions{
+		Prefix:    "hub.http",
+		PanicBody: ErrHub.Error() + ": internal server error",
+	})
 }
 
 func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
@@ -147,7 +156,10 @@ func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
 }
 
 // inspectRepo unpacks a published archive into a temp dir and lists its
-// model names, validating the archive in the process.
+// model names, validating the archive in the process. For repositories with
+// an archived version, the first archived snapshot is probed at byte-plane
+// prefix 1 through the PAS concurrent engine — a cheap high-plane integrity
+// check that rejects archives whose parameter store cannot be read back.
 func inspectRepo(blob []byte) ([]string, error) {
 	tmp, err := os.MkdirTemp("", "hub-inspect-*")
 	if err != nil {
@@ -167,10 +179,17 @@ func inspectRepo(blob []byte) ([]string, error) {
 	}
 	seen := map[string]bool{}
 	var models []string
+	probed := false
 	for _, v := range versions {
 		if !seen[v.Name] {
 			seen[v.Name] = true
 			models = append(models, v.Name)
+		}
+		if !probed && v.Archived && len(v.Snapshots) > 0 {
+			probed = true
+			if _, err := repo.Weights(v.ID, v.Snapshots[0], 1); err != nil {
+				return nil, fmt.Errorf("%w: archived weights unreadable: %v", ErrHub, err)
+			}
 		}
 	}
 	sort.Strings(models)

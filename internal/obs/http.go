@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// MiddlewareOptions configure WrapHandler.
+type MiddlewareOptions struct {
+	// Prefix namespaces the metrics, e.g. "hub.http" yields
+	// hub.http.requests, hub.http.request_seconds, hub.http.response_bytes,
+	// hub.http.in_flight, hub.http.status_Nxx, hub.http.panics.
+	Prefix string
+	// PanicBody is the response body sent with the 500 when a handler
+	// panics (defaults to "internal server error").
+	PanicBody string
+}
+
+// WrapHandler wraps next with the full observability stack: panic recovery
+// (a panicking handler becomes a 500 response instead of a crashed
+// goroutine), request metrics under opts.Prefix, and structured request
+// logging through the package logger. Recovery is always active; metrics
+// and logging follow the global Enable gate and the installed logger.
+func WrapHandler(next http.Handler, opts MiddlewareOptions) http.Handler {
+	if opts.Prefix == "" {
+		opts.Prefix = "http"
+	}
+	if opts.PanicBody == "" {
+		opts.PanicBody = "internal server error"
+	}
+	requests := GetCounter(opts.Prefix + ".requests")
+	seconds := GetHistogram(opts.Prefix + ".request_seconds")
+	respBytes := GetCounter(opts.Prefix + ".response_bytes")
+	inFlight := GetGauge(opts.Prefix + ".in_flight")
+	panics := GetCounter(opts.Prefix + ".panics")
+	statuses := [5]*Counter{
+		GetCounter(opts.Prefix + ".status_1xx"),
+		GetCounter(opts.Prefix + ".status_2xx"),
+		GetCounter(opts.Prefix + ".status_3xx"),
+		GetCounter(opts.Prefix + ".status_4xx"),
+		GetCounter(opts.Prefix + ".status_5xx"),
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		requests.Inc()
+		inFlight.Add(1)
+		defer inFlight.Add(-1)
+		rec := &statusRecorder{ResponseWriter: w}
+		defer func() {
+			if p := recover(); p != nil {
+				panics.Inc()
+				Logger().Error("handler panic",
+					slog.String("method", r.Method),
+					slog.String("path", r.URL.Path),
+					slog.Any("panic", p))
+				if !rec.wroteHeader {
+					http.Error(rec, opts.PanicBody, http.StatusInternalServerError)
+				}
+			}
+			status := rec.status
+			if status == 0 {
+				status = http.StatusOK
+			}
+			if class := status/100 - 1; class >= 0 && class < len(statuses) {
+				statuses[class].Inc()
+			}
+			elapsed := time.Since(start)
+			seconds.Observe(elapsed.Seconds())
+			respBytes.Add(rec.bytes)
+			Logger().Info("http request",
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", status),
+				slog.Int64("bytes", rec.bytes),
+				slog.Duration("elapsed", elapsed))
+		}()
+		next.ServeHTTP(rec, r)
+	})
+}
+
+// statusRecorder captures the response status and byte count.
+type statusRecorder struct {
+	http.ResponseWriter
+	status      int
+	bytes       int64
+	wroteHeader bool
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if !r.wroteHeader {
+		r.status = code
+		r.wroteHeader = true
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	if !r.wroteHeader {
+		r.status = http.StatusOK
+		r.wroteHeader = true
+	}
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += int64(n)
+	return n, err
+}

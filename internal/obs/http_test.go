@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestWrapHandlerMetrics(t *testing.T) {
+	Enable()
+	defer Disable()
+	h := WrapHandler(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, err := io.WriteString(w, "hello"); err != nil {
+			t.Errorf("write: %v", err)
+		}
+	}), MiddlewareOptions{Prefix: "test.http.ok"})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(srv.URL + "/x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		if err := resp.Body.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d", resp.StatusCode)
+		}
+	}
+	if got := GetCounter("test.http.ok.requests").Value(); got != 3 {
+		t.Fatalf("requests = %d, want 3", got)
+	}
+	if got := GetCounter("test.http.ok.status_2xx").Value(); got != 3 {
+		t.Fatalf("status_2xx = %d, want 3", got)
+	}
+	if got := GetCounter("test.http.ok.response_bytes").Value(); got != 15 {
+		t.Fatalf("response_bytes = %d, want 15", got)
+	}
+	if s := GetHistogram("test.http.ok.request_seconds").Snapshot(); s.Count != 3 {
+		t.Fatalf("latency count = %d, want 3", s.Count)
+	}
+	if got := GetGauge("test.http.ok.in_flight").Value(); got != 0 {
+		t.Fatalf("in_flight after drain = %d, want 0", got)
+	}
+}
+
+func TestWrapHandlerPanicRecovery(t *testing.T) {
+	Enable()
+	defer Disable()
+	h := WrapHandler(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("boom")
+	}), MiddlewareOptions{Prefix: "test.http.panic", PanicBody: "hub: error: internal server error"})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/kaboom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resp.Body.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "hub: error: internal server error") {
+		t.Fatalf("body = %q, want the panic body", body)
+	}
+	if got := GetCounter("test.http.panic.panics").Value(); got != 1 {
+		t.Fatalf("panics = %d, want 1", got)
+	}
+	if got := GetCounter("test.http.panic.status_5xx").Value(); got != 1 {
+		t.Fatalf("status_5xx = %d, want 1", got)
+	}
+}
+
+// TestWrapHandlerPanicRecoveryAlwaysOn: recovery must protect the server
+// even when metrics are disabled.
+func TestWrapHandlerPanicRecoveryDisabled(t *testing.T) {
+	Disable()
+	h := WrapHandler(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("boom")
+	}), MiddlewareOptions{Prefix: "test.http.panicoff"})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/kaboom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if err := resp.Body.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
+	}
+	if got := GetCounter("test.http.panicoff.panics").Value(); got != 0 {
+		t.Fatalf("disabled panics counter = %d, want 0", got)
+	}
+}

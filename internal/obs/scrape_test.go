@@ -1,0 +1,100 @@
+// External-package test: drives a real PAS retrieval with metrics enabled
+// and scrapes the /metrics handler the way modelhub-server serves it,
+// asserting the pas.* instrumentation shows up nonzero in the JSON payload.
+package obs_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"modelhub/internal/obs"
+	"modelhub/internal/pas"
+	"modelhub/internal/tensor"
+)
+
+func TestMetricsScrapeAfterPASRetrieval(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+
+	rng := rand.New(rand.NewSource(41))
+	base := map[string]*tensor.Matrix{
+		"conv1": tensor.RandNormal(rng, 12, 30, 0.1),
+		"ip1":   tensor.RandNormal(rng, 20, 80, 0.1),
+	}
+	var snaps []pas.SnapshotIn
+	cur := base
+	for i := 0; i < 4; i++ {
+		snap := pas.SnapshotIn{ID: fmt.Sprintf("s%d", i), Matrices: map[string]*tensor.Matrix{}}
+		for name, m := range cur {
+			snap.Matrices[name] = m.Perturb(rng, 1e-3)
+		}
+		snaps = append(snaps, snap)
+		cur = snap.Matrices
+	}
+	dir := t.TempDir()
+	if _, err := pas.Create(dir, snaps, pas.Options{Algorithm: "mst"}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := pas.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := snaps[len(snaps)-1].ID
+	// First retrieval fills the plane LRU (misses), second hits it.
+	for i := 0; i < 2; i++ {
+		if _, err := st.GetSnapshot(last, 4, pas.Concurrent); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	srv := httptest.NewServer(obs.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scrape status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q", ct)
+	}
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resp.Body.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var metrics map[string]any
+	if err := json.Unmarshal(blob, &metrics); err != nil {
+		t.Fatalf("scrape is not valid JSON: %v", err)
+	}
+	for _, key := range []string{
+		"pas.plane_cache.misses",
+		"pas.plane_cache.hits",
+		"pas.chunk.reads",
+		"pas.chunk.read_bytes",
+		"pas.retrieval.snapshots.concurrent",
+	} {
+		v, ok := metrics[key].(float64)
+		if !ok {
+			t.Fatalf("scrape is missing counter %q (got %T)", key, metrics[key])
+		}
+		if v <= 0 {
+			t.Fatalf("%s = %v, want nonzero after a concurrent retrieval", key, v)
+		}
+	}
+	hist, ok := metrics["pas.retrieval.seconds"].(map[string]any)
+	if !ok {
+		t.Fatalf("pas.retrieval.seconds missing or not a histogram: %T", metrics["pas.retrieval.seconds"])
+	}
+	if count, _ := hist["count"].(float64); count < 2 {
+		t.Fatalf("pas.retrieval.seconds count = %v, want >= 2", hist["count"])
+	}
+}

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Span is one timed region of work. Spans form a hierarchy through
+// context.Context: Start called with a context that already carries a span
+// makes the new span its child, and when a child ends its duration is
+// billed to the parent's per-child rollup.
+//
+// Each ended span records into two metric families:
+//
+//	span.<name>.seconds             histogram of the span's own durations
+//	span.<name>.child_ns.<child>    counter of cumulative nanoseconds the
+//	                                named child spans consumed under it
+//
+// A nil *Span is a valid no-op (the disabled path), so call sites can
+// unconditionally defer End.
+type Span struct {
+	name   string
+	start  time.Time
+	parent *Span
+
+	mu      sync.Mutex
+	childNS map[string]int64
+}
+
+// spanKey carries the active span in a context.
+type spanKey struct{}
+
+// Start begins a span named name. When metrics are disabled it returns the
+// context unchanged and a nil span whose End is a no-op. The returned
+// context carries the span, so nested Start calls build a hierarchy.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	if !enabled.Load() {
+		return ctx, nil
+	}
+	parent, _ := ctx.Value(spanKey{}).(*Span)
+	s := &Span{name: name, start: time.Now(), parent: parent}
+	return context.WithValue(ctx, spanKey{}, s), s
+}
+
+// StartRoot begins a parentless span — for call sites without a context
+// (DLV checkout/commit, DQL statement execution).
+func StartRoot(name string) *Span {
+	_, s := Start(context.Background(), name)
+	return s
+}
+
+// FromContext returns the span carried by ctx, or nil.
+func FromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// End finishes the span: it observes the duration in the span's histogram,
+// bills the duration to the parent's rollup, and flushes this span's own
+// child rollups to counters. Safe on a nil receiver. Returns the measured
+// duration (0 when nil).
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	GetHistogram("span." + s.name + ".seconds").Observe(d.Seconds())
+	if s.parent != nil {
+		s.parent.addChild(s.name, d)
+	}
+	s.mu.Lock()
+	children := s.childNS
+	s.childNS = nil
+	s.mu.Unlock()
+	// Deterministic flush order keeps registry lock contention predictable
+	// and tests stable.
+	names := make([]string, 0, len(children))
+	for name := range children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		GetCounter("span." + s.name + ".child_ns." + name).Add(children[name])
+	}
+	return d
+}
+
+// addChild accumulates a finished child's duration under its name. Children
+// may end concurrently (parallel retrieval tasks under one checkout span).
+func (s *Span) addChild(name string, d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.childNS == nil {
+		s.childNS = map[string]int64{}
+	}
+	s.childNS[name] += d.Nanoseconds()
+}
+
+// Name returns the span's name ("" for the nil no-op span).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}

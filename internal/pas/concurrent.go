@@ -103,9 +103,11 @@ func (c *planeLRU) get(k planeKey) (*[4][]byte, bool) {
 	defer c.mu.Unlock()
 	el, ok := c.items[k]
 	if !ok {
+		mPlaneCacheMisses.Inc()
 		return nil, false
 	}
 	c.ll.MoveToFront(el)
+	mPlaneCacheHits.Inc()
 	return el.Value.(*lruEntry).planes, true
 }
 
@@ -129,6 +131,7 @@ func (c *planeLRU) add(k planeKey, planes *[4][]byte) {
 	c.items[k] = c.ll.PushFront(&lruEntry{key: k, planes: planes, bytes: bytes})
 	c.size += bytes
 	c.evictLocked()
+	gPlaneCacheBytes.Set(c.size)
 }
 
 func (c *planeLRU) evictLocked() {
@@ -141,6 +144,8 @@ func (c *planeLRU) evictLocked() {
 		c.ll.Remove(el)
 		delete(c.items, ent.key)
 		c.size -= ent.bytes
+		mPlaneCacheEvictions.Inc()
+		gPlaneCacheBytes.Set(c.size)
 	}
 }
 
@@ -151,6 +156,7 @@ func (s *Store) readPlanesParallel(n *manifestNode, prefix int) (*[4][]byte, err
 	var planes [4][]byte
 	size := n.Rows * n.Cols
 	start, end := nodePlanes(n)
+	countAvoidedPlanes(n, prefix)
 	var stored []int
 	for p := 0; p < floatenc.NumPlanes; p++ {
 		if p >= prefix || p < start || p >= end {
@@ -221,6 +227,7 @@ func (s *Store) resolveOneConcurrent(n *manifestNode, prefix int, parent *[4][]b
 	s.eng.fmu.Lock()
 	if f, ok := s.eng.flights[k]; ok {
 		s.eng.fmu.Unlock()
+		mSingleFlightDedup.Inc()
 		<-f.done
 		return f.planes, f.err
 	}

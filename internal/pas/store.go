@@ -628,6 +628,8 @@ func (s *Store) readPlane(n *manifestNode, p int) ([]byte, error) {
 	if size := n.Rows * n.Cols; len(raw) != size {
 		return nil, fmt.Errorf("%w: node %d plane %d has %d bytes, want %d", ErrStore, n.ID, p, len(raw), size)
 	}
+	mChunkReads.Inc()
+	mChunkReadBytes.Add(int64(len(z)))
 	return raw, nil
 }
 
@@ -638,6 +640,7 @@ func (s *Store) readPlanes(n *manifestNode, prefix int) (*[4][]byte, error) {
 	var planes [4][]byte
 	size := n.Rows * n.Cols
 	start, end := nodePlanes(n)
+	countAvoidedPlanes(n, prefix)
 	for p := 0; p < floatenc.NumPlanes; p++ {
 		if p >= prefix || p < start || p >= end {
 			planes[p] = make([]byte, size)
@@ -908,6 +911,8 @@ func (s *Store) GetIntervals(ref MatrixRef, prefix int) (lo, hi *tensor.Matrix, 
 // prefixes across matrices, and Concurrent schedules chain resolution over a
 // worker pool with single-flight deduplication and a persistent plane LRU.
 func (s *Store) GetSnapshot(snapshot string, prefix int, scheme Scheme) (map[string]*tensor.Matrix, error) {
+	countRetrieval(scheme)
+	defer mRetrievalSeconds.Time()()
 	names, err := s.MatrixNames(snapshot)
 	if err != nil {
 		return nil, err

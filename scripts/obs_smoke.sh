@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# obs-smoke: end-to-end check of the observability surface.
+#
+# Builds dlv and modelhub-server, trains + archives a tiny model, starts the
+# server with -metrics, drives one publish and one pull through the real
+# HTTP API, then scrapes /metrics and asserts the payload is well-formed
+# JSON with nonzero hub.http.* and pas.* counters, and that /debug/pprof/
+# is reachable. Run via `make obs-smoke`.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+TMP="$(mktemp -d)"
+SRV_PID=""
+cleanup() {
+  if [ -n "$SRV_PID" ]; then kill "$SRV_PID" 2>/dev/null || true; fi
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+cd "$ROOT"
+go build -o "$TMP/dlv" ./cmd/dlv
+go build -o "$TMP/modelhub-server" ./cmd/modelhub-server
+
+# A tiny repository with one trained, archived model version.
+REPO="$TMP/repo"
+mkdir -p "$REPO"
+"$TMP/dlv" init -repo "$REPO" >/dev/null
+"$TMP/dlv" train -repo "$REPO" -name smoke-lenet -epochs 1 -checkpoint-every 0 >/dev/null
+"$TMP/dlv" archive -repo "$REPO" >/dev/null
+
+ADDR="127.0.0.1:${OBS_SMOKE_PORT:-18477}"
+"$TMP/modelhub-server" -addr "$ADDR" -data "$TMP/hub-data" -metrics -v 2>"$TMP/server.log" &
+SRV_PID=$!
+
+ready=0
+for _ in $(seq 1 50); do
+  if curl -fsS "http://$ADDR/api/search?q=" >/dev/null 2>&1; then ready=1; break; fi
+  sleep 0.2
+done
+if [ "$ready" != 1 ]; then
+  echo "obs-smoke: server did not start; log follows" >&2
+  cat "$TMP/server.log" >&2
+  exit 1
+fi
+
+# One publish + one pull: the publish-side archive probe drives the PAS
+# concurrent engine inside the server process.
+"$TMP/dlv" publish -repo "$REPO" -remote "http://$ADDR" -name smoke-repo >/dev/null
+"$TMP/dlv" pull -remote "http://$ADDR" -name smoke-repo -dest "$TMP/pulled" >/dev/null
+
+METRICS="$TMP/metrics.json"
+curl -fsS "http://$ADDR/metrics" >"$METRICS"
+jq empty "$METRICS" # fails on malformed JSON
+
+check_nonzero() {
+  v="$(jq -r --arg k "$1" '.[$k] // 0' "$METRICS")"
+  case "$v" in
+  "" | 0 | null)
+    echo "obs-smoke: metric $1 is zero or missing" >&2
+    exit 1
+    ;;
+  esac
+}
+check_nonzero "hub.http.requests"
+check_nonzero "hub.http.response_bytes"
+check_nonzero "hub.http.status_2xx"
+check_nonzero "pas.plane_cache.misses"
+check_nonzero "pas.chunk.reads"
+check_nonzero "pas.retrieval.snapshots.concurrent"
+jq -e '."hub.http.request_seconds".count >= 2' "$METRICS" >/dev/null
+
+curl -fsS "http://$ADDR/debug/pprof/" >/dev/null
+
+echo "obs-smoke: OK ($(jq length "$METRICS") metrics exported)"
