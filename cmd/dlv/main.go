@@ -18,9 +18,9 @@
 //	dlv eval    -v ID [-snap LABEL] [-prefix 1..4] [-progressive [-topk K]]
 //	dlv plot    -v ID [-layer NAME] [-prefix 1..4] -o weights.html
 //	dlv query   'select m where ...'
-//	dlv publish -remote URL -name NAME
-//	dlv search  -remote URL -q QUERY
-//	dlv pull    -remote URL -name NAME [-dest DIR]
+//	dlv publish -remote URL -name NAME [-timeout D] [-stall-timeout D] [-retries N]
+//	dlv search  -remote URL -q QUERY   [-timeout D] [-stall-timeout D] [-retries N]
+//	dlv pull    -remote URL -name NAME [-dest DIR] [-timeout D] [-stall-timeout D] [-retries N]
 //
 // All commands except init/pull operate on the repository in the current
 // directory (or -repo DIR).
@@ -40,6 +40,7 @@ import (
 	"modelhub/internal/dlv"
 	"modelhub/internal/dnn"
 	"modelhub/internal/floatenc"
+	"modelhub/internal/hub"
 	"modelhub/internal/obs"
 	"modelhub/internal/pas"
 	"modelhub/internal/report"
@@ -523,6 +524,7 @@ func run(cmd string, args []string) error {
 		repoDir := fs.String("repo", ".", "repository directory")
 		remote := fs.String("remote", "", "hub server URL (required)")
 		name := fs.String("name", "", "published repository name (required)")
+		opts := hubFlags(fs)
 		fs.Parse(args)
 		if *remote == "" || *name == "" {
 			return fmt.Errorf("publish: -remote and -name are required")
@@ -531,7 +533,7 @@ func run(cmd string, args []string) error {
 		if err != nil {
 			return err
 		}
-		if err := mh.Publish(*remote, *name); err != nil {
+		if err := mh.PublishWith(*remote, *name, opts()); err != nil {
 			return err
 		}
 		fmt.Printf("published %s to %s\n", *name, *remote)
@@ -541,11 +543,12 @@ func run(cmd string, args []string) error {
 		fs := flag.NewFlagSet("search", flag.ExitOnError)
 		remote := fs.String("remote", "", "hub server URL (required)")
 		q := fs.String("q", "", "search query")
+		opts := hubFlags(fs)
 		fs.Parse(args)
 		if *remote == "" {
 			return fmt.Errorf("search: -remote is required")
 		}
-		infos, err := core.Search(*remote, *q)
+		infos, err := core.SearchWith(*remote, *q, opts())
 		if err != nil {
 			return err
 		}
@@ -560,11 +563,12 @@ func run(cmd string, args []string) error {
 		remote := fs.String("remote", "", "hub server URL (required)")
 		name := fs.String("name", "", "repository name (required)")
 		dest := fs.String("dest", ".", "destination directory")
+		opts := hubFlags(fs)
 		fs.Parse(args)
 		if *remote == "" || *name == "" {
 			return fmt.Errorf("pull: -remote and -name are required")
 		}
-		if _, err := core.Pull(*remote, *name, *dest); err != nil {
+		if _, err := core.PullWith(*remote, *name, *dest, opts()); err != nil {
 			return err
 		}
 		fmt.Printf("pulled %s into %s\n", *name, *dest)
@@ -573,6 +577,19 @@ func run(cmd string, args []string) error {
 	default:
 		usage()
 		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+// hubFlags registers the shared transfer flags of the hub commands
+// (publish, search, pull) and returns a closure resolving them to
+// hub.Options after fs.Parse. Zero values fall back to library defaults;
+// negatives disable the mechanism.
+func hubFlags(fs *flag.FlagSet) func() hub.Options {
+	timeout := fs.Duration("timeout", 0, "per-request timeout for control requests (0 = default, negative = none)")
+	stall := fs.Duration("stall-timeout", 0, "abort a transfer making no progress for this long (0 = default, negative = none)")
+	retries := fs.Int("retries", 0, "retry attempts for idempotent requests; pulls resume via Range (0 = default, negative = none)")
+	return func() hub.Options {
+		return hub.Options{Timeout: *timeout, StallTimeout: *stall, Retries: *retries}
 	}
 }
 

@@ -5,20 +5,35 @@
 // Usage:
 //
 //	modelhub-server [-addr :8080] [-data DIR] [-metrics] [-v] [-log-level LEVEL]
+//	                [-drain-timeout D] [-flaky-pull-cut N]
 //
 // With -metrics, the live metrics registry is enabled and served as JSON at
 // /metrics (expvar-style flat keys), and the net/http/pprof profiling
 // handlers are mounted under /debug/pprof/. With -v (or -log-level), hub
 // request logs go to stderr via log/slog.
+//
+// On SIGTERM or SIGINT the server shuts down gracefully: the listener
+// closes immediately and in-flight requests get up to -drain-timeout to
+// finish before the process exits.
+//
+// -flaky-pull-cut N is a fault-injection hook for the transfer-path smoke
+// tests: every full-archive pull response (one without a Range header) is
+// cut after N bytes and the connection is severed, exactly as a server
+// killed mid-stream would — clients are expected to resume via Range.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"modelhub/internal/hub"
 	"modelhub/internal/obs"
@@ -30,6 +45,8 @@ func main() {
 	metrics := flag.Bool("metrics", false, "enable the metrics registry; serve /metrics and /debug/pprof/")
 	verbose := flag.Bool("v", false, "log requests to stderr at info level")
 	logLevel := flag.String("log-level", "", "log to stderr at this level (debug, info, warn, error)")
+	drain := flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
+	flakyCut := flag.Int64("flaky-pull-cut", 0, "fault injection: sever full-archive pull responses after N bytes (testing only)")
 	flag.Parse()
 
 	if err := configureLogging(*verbose, *logLevel); err != nil {
@@ -39,9 +56,36 @@ func main() {
 	if err != nil {
 		log.Fatalf("modelhub-server: %v", err)
 	}
+	handler := newMux(srv, *metrics)
+	if *flakyCut > 0 {
+		log.Printf("modelhub-server: FAULT INJECTION: cutting full pull responses after %d bytes", *flakyCut)
+		handler = flakyPullCut(handler, *flakyCut)
+	}
+	hs := &http.Server{Addr: *addr, Handler: handler}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
 	log.Printf("modelhub-server listening on %s, storing repositories in %s", *addr, *dataDir)
-	if err := http.ListenAndServe(*addr, newMux(srv, *metrics)); err != nil {
-		log.Fatalf("modelhub-server: %v", err)
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("modelhub-server: %v", err)
+		}
+	case <-ctx.Done():
+		stop()
+		log.Printf("modelhub-server: shutting down, draining for up to %s", *drain)
+		sctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			log.Printf("modelhub-server: drain incomplete, forcing close: %v", err)
+			//nolint:errcheck // the process is exiting either way
+			_ = hs.Close()
+		}
+		<-errc
+		log.Printf("modelhub-server: shutdown complete")
 	}
 }
 
@@ -77,4 +121,59 @@ func newMux(srv *hub.Server, metrics bool) http.Handler {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 	return mux
+}
+
+// flakyPullCut wraps next so that full-archive pull responses (no Range
+// header) are truncated after n body bytes and the underlying connection is
+// hijacked and closed — the client observes exactly what a server crash
+// mid-stream produces. Range requests pass through untouched, so a
+// resuming client completes the transfer.
+func flakyPullCut(next http.Handler, n int64) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/api/pull" || r.Header.Get("Range") != "" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		cw := &cutResponseWriter{ResponseWriter: w, remaining: n}
+		next.ServeHTTP(cw, r)
+		if cw.cut {
+			if hj, ok := w.(http.Hijacker); ok {
+				if conn, _, err := hj.Hijack(); err == nil {
+					//nolint:errcheck // the connection is being severed on purpose
+					_ = conn.Close()
+				}
+			}
+		}
+	})
+}
+
+// cutResponseWriter forwards writes until its byte budget is spent, then
+// reports a write error so the handler stops streaming.
+type cutResponseWriter struct {
+	http.ResponseWriter
+	remaining int64
+	cut       bool
+}
+
+var errStreamCut = errors.New("stream cut (fault injection)")
+
+func (c *cutResponseWriter) Write(p []byte) (int, error) {
+	if c.cut {
+		return 0, errStreamCut
+	}
+	if int64(len(p)) <= c.remaining {
+		n, err := c.ResponseWriter.Write(p)
+		c.remaining -= int64(n)
+		return n, err
+	}
+	n, err := c.ResponseWriter.Write(p[:c.remaining])
+	c.remaining = 0
+	c.cut = true
+	if err != nil {
+		return n, err
+	}
+	if f, ok := c.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+	return n, errStreamCut
 }

@@ -6,7 +6,9 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 
+	"modelhub/internal/core"
 	"modelhub/internal/hub"
 	"modelhub/internal/obs"
 )
@@ -86,5 +88,69 @@ func TestConfigureLogging(t *testing.T) {
 	}
 	if err := configureLogging(false, "shout"); err == nil {
 		t.Fatal("bad -log-level accepted")
+	}
+}
+
+func TestCutResponseWriterTruncatesAtBudget(t *testing.T) {
+	rec := httptest.NewRecorder()
+	cw := &cutResponseWriter{ResponseWriter: rec, remaining: 10}
+	n, err := cw.Write([]byte("0123456789abcdef"))
+	if n != 10 || err == nil {
+		t.Fatalf("first write = %d, %v; want 10 bytes and a cut error", n, err)
+	}
+	if !cw.cut {
+		t.Fatal("writer not marked cut")
+	}
+	if n, err := cw.Write([]byte("more")); n != 0 || err == nil {
+		t.Fatalf("write after cut = %d, %v; want 0 and an error", n, err)
+	}
+	if got := rec.Body.String(); got != "0123456789" {
+		t.Fatalf("flushed body = %q", got)
+	}
+}
+
+func TestCutResponseWriterPassesSmallWrites(t *testing.T) {
+	rec := httptest.NewRecorder()
+	cw := &cutResponseWriter{ResponseWriter: rec, remaining: 100}
+	if n, err := cw.Write([]byte("hello")); n != 5 || err != nil {
+		t.Fatalf("write = %d, %v", n, err)
+	}
+	if cw.cut || cw.remaining != 95 {
+		t.Fatalf("cut = %v, remaining = %d", cw.cut, cw.remaining)
+	}
+}
+
+// End to end through the fault-injection middleware: the first pull is cut
+// and the connection severed, and the client transparently resumes via
+// Range and lands a verified repository.
+func TestFlakyPullCutClientResumes(t *testing.T) {
+	srv, err := hub.NewServer(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(flakyPullCut(srv.Handler(), 64))
+	defer ts.Close()
+
+	client := hub.NewClientWith(ts.URL, hub.Options{
+		BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond,
+	})
+	src := t.TempDir()
+	mh, err := core.Init(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mh.TrainAndCommit("m", core.TrainOptions{Epochs: 1, Examples: 60}); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Publish(src, "r"); err != nil {
+		t.Fatal(err)
+	}
+
+	dest := t.TempDir()
+	if err := client.Pull("r", dest); err != nil {
+		t.Fatalf("pull through fault injection: %v", err)
+	}
+	if _, err := core.Open(dest); err != nil {
+		t.Fatalf("pulled repository does not open: %v", err)
 	}
 }

@@ -167,17 +167,33 @@ func (m *ModelHub) Archive(opts dlv.ArchiveOptions) error {
 
 // Publish uploads the repository to a hub server (dlv publish).
 func (m *ModelHub) Publish(remote, name string) error {
-	return hub.NewClient(remote).Publish(m.Repo.Root(), name)
+	return m.PublishWith(remote, name, hub.Options{})
+}
+
+// PublishWith is Publish with explicit transfer options (timeouts, stall
+// watchdog, retry policy).
+func (m *ModelHub) PublishWith(remote, name string, o hub.Options) error {
+	return hub.NewClientWith(remote, o).Publish(m.Repo.Root(), name)
 }
 
 // Search queries a hub server (dlv search).
 func Search(remote, q string) ([]hub.RepoInfo, error) {
-	return hub.NewClient(remote).Search(q)
+	return SearchWith(remote, q, hub.Options{})
+}
+
+// SearchWith is Search with explicit transfer options.
+func SearchWith(remote, q string, o hub.Options) ([]hub.RepoInfo, error) {
+	return hub.NewClientWith(remote, o).Search(q)
 }
 
 // Pull downloads a published repository into dir and opens it (dlv pull).
 func Pull(remote, name, dir string) (*ModelHub, error) {
-	if err := hub.NewClient(remote).Pull(name, dir); err != nil {
+	return PullWith(remote, name, dir, hub.Options{})
+}
+
+// PullWith is Pull with explicit transfer options.
+func PullWith(remote, name, dir string, o hub.Options) (*ModelHub, error) {
+	if err := hub.NewClientWith(remote, o).Pull(name, dir); err != nil {
 		return nil, err
 	}
 	return Open(dir)

@@ -1,45 +1,93 @@
 package hub
 
 import (
-	"bytes"
+	"context"
+	"crypto/sha256"
 	"encoding/json"
 	"fmt"
+	"hash"
 	"io"
 	"net/http"
 	"net/url"
 	"os"
+	"path/filepath"
+	"strconv"
 	"strings"
 )
 
-// Client talks to a ModelHub server.
+// Client talks to a ModelHub server. Transfers are crash- and
+// disconnect-safe: publishes stream from a packed temp file with an
+// end-to-end SHA-256, pulls download to a temp file (resuming cut streams
+// via Range requests from the verified byte offset), digest-verify the
+// archive, and only then extract + atomically promote into the destination.
 type Client struct {
 	// Base is the server URL, e.g. "http://localhost:8080".
 	Base string
-	// HTTP is the transport; defaults to http.DefaultClient.
+	// HTTP is the transport; nil selects DefaultHTTPClient (sane dial and
+	// response-header timeouts, no whole-request ceiling).
 	HTTP *http.Client
+	// Opts tunes timeouts, the stall watchdog, and the retry policy.
+	// Zero fields select defaults; see Options.
+	Opts Options
 }
 
-// NewClient creates a client for a server base URL.
-func NewClient(base string) *Client {
-	return &Client{Base: strings.TrimRight(base, "/"), HTTP: http.DefaultClient}
+// NewClient creates a client with default transfer options.
+func NewClient(base string) *Client { return NewClientWith(base, Options{}) }
+
+// NewClientWith creates a client with explicit transfer options.
+func NewClientWith(base string, o Options) *Client {
+	return &Client{Base: strings.TrimRight(base, "/"), HTTP: DefaultHTTPClient(), Opts: o}
 }
 
 func (c *Client) httpClient() *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP
 	}
-	return http.DefaultClient
+	return DefaultHTTPClient()
 }
 
 // Publish packs the repository at root and uploads it under the given name
-// (dlv publish).
+// (dlv publish). The archive is packed to a temp file and hashed, the hash
+// travels in DigestHeader, and the server rejects any upload whose streamed
+// bytes do not match — a cut upload can never become visible server state.
 func (c *Client) Publish(root, name string) error {
-	var buf bytes.Buffer
-	if err := PackRepo(root, &buf); err != nil {
+	opts := c.Opts.withDefaults()
+	tmp, err := os.CreateTemp("", "dlv-publish-*.tar.gz")
+	if err != nil {
+		return fmt.Errorf("%w: publish: %v", ErrHub, err)
+	}
+	defer func() {
+		//mhlint:ignore errcheck best-effort temp cleanup after the upload outcome is decided
+		_ = tmp.Close()
+		//mhlint:ignore errcheck best-effort temp cleanup after the upload outcome is decided
+		_ = os.Remove(tmp.Name())
+	}()
+	h := sha256.New()
+	if err := PackRepo(root, io.MultiWriter(tmp, h)); err != nil {
 		return err
 	}
+	size, err := tmp.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return fmt.Errorf("%w: publish: %v", ErrHub, err)
+	}
+	if _, err := tmp.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("%w: publish: %v", ErrHub, err)
+	}
+	digest := digestString(h.Sum(nil))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	body := newStallReader(tmp, cancel, opts.StallTimeout)
+	defer body.stop()
 	u := fmt.Sprintf("%s/api/publish?name=%s", c.Base, url.QueryEscape(name))
-	resp, err := c.httpClient().Post(u, "application/gzip", &buf)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, body)
+	if err != nil {
+		return fmt.Errorf("%w: publish: %v", ErrHub, err)
+	}
+	req.ContentLength = size
+	req.Header.Set("Content-Type", "application/gzip")
+	req.Header.Set(DigestHeader, digest)
+	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return fmt.Errorf("%w: publish: %v", ErrHub, err)
 	}
@@ -53,37 +101,234 @@ func (c *Client) Publish(root, name string) error {
 }
 
 // Search queries the server for repositories matching q (dlv search).
+// Transient failures (connection errors, cut responses, 5xx) are retried
+// with backoff under a per-attempt timeout.
 func (c *Client) Search(q string) ([]RepoInfo, error) {
+	opts := c.Opts.withDefaults()
 	u := fmt.Sprintf("%s/api/search?q=%s", c.Base, url.QueryEscape(q))
-	resp, err := c.httpClient().Get(u)
-	if err != nil {
-		return nil, fmt.Errorf("%w: search: %v", ErrHub, err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("%w: search failed (%d)", ErrHub, resp.StatusCode)
-	}
 	var out []RepoInfo
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return nil, fmt.Errorf("%w: search response: %v", ErrHub, err)
+	err := retry(context.Background(), opts, func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+		if err != nil {
+			return fmt.Errorf("%w: search: %v", ErrHub, err)
+		}
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			return transientf("search: %v", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			if resp.StatusCode >= 500 {
+				return transientf("search failed (%d)", resp.StatusCode)
+			}
+			return fmt.Errorf("%w: search failed (%d)", ErrHub, resp.StatusCode)
+		}
+		out = nil // a retried attempt must not append to a torn first decode
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			return transientf("search response: %v", err)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
 // Pull downloads a published repository into destRoot (dlv pull). destRoot
-// must not already contain a repository.
+// must not already contain a repository. The archive lands in a temp file
+// first (cut streams resume via Range from the verified offset), is
+// digest-verified against the server's DigestHeader, extracted into a
+// staging directory, and promoted into destRoot with one atomic rename —
+// a failed or interrupted pull leaves destRoot untouched, so a retry
+// always starts clean.
 func (c *Client) Pull(name, destRoot string) error {
-	if _, err := os.Stat(destRoot + "/.dlv"); err == nil {
+	dest := filepath.Join(destRoot, ".dlv")
+	if _, err := os.Stat(dest); err == nil {
 		return fmt.Errorf("%w: destination already contains a repository", ErrHub)
 	}
-	u := fmt.Sprintf("%s/api/pull?name=%s", c.Base, url.QueryEscape(name))
-	resp, err := c.httpClient().Get(u)
+	if err := os.MkdirAll(destRoot, 0o755); err != nil {
+		return fmt.Errorf("%w: pull: %v", ErrHub, err)
+	}
+	arch, err := os.CreateTemp("", "dlv-pull-*.tar.gz")
 	if err != nil {
 		return fmt.Errorf("%w: pull: %v", ErrHub, err)
 	}
+	defer func() {
+		//mhlint:ignore errcheck best-effort temp cleanup after the pull outcome is decided
+		_ = arch.Close()
+		//mhlint:ignore errcheck best-effort temp cleanup after the pull outcome is decided
+		_ = os.Remove(arch.Name())
+	}()
+	if err := c.download(context.Background(), name, arch); err != nil {
+		return err
+	}
+	if _, err := arch.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("%w: pull: %v", ErrHub, err)
+	}
+
+	// Extract into a staging dir inside destRoot (same filesystem), then
+	// promote the .dlv tree with one rename. A crash or unpack failure
+	// strands at most a hidden staging dir, never a half-extracted .dlv.
+	stage, err := os.MkdirTemp(destRoot, ".dlv-stage-*")
+	if err != nil {
+		return fmt.Errorf("%w: pull: %v", ErrHub, err)
+	}
+	defer func() {
+		//mhlint:ignore errcheck best-effort cleanup; promotion already moved the repo out
+		_ = os.RemoveAll(stage)
+	}()
+	if err := UnpackRepo(arch, stage); err != nil {
+		return err
+	}
+	staged := filepath.Join(stage, ".dlv")
+	if _, err := os.Stat(staged); err != nil {
+		return fmt.Errorf("%w: pulled archive contains no repository", ErrHub)
+	}
+	if err := os.Rename(staged, dest); err != nil {
+		if _, serr := os.Stat(dest); serr == nil {
+			return fmt.Errorf("%w: destination already contains a repository", ErrHub)
+		}
+		return fmt.Errorf("%w: pull: %v", ErrHub, err)
+	}
+	return nil
+}
+
+// download fetches the named archive into f, retrying transient failures
+// and resuming from the number of bytes already written and hashed. The
+// final file is verified against the server-advertised digest.
+func (c *Client) download(ctx context.Context, name string, f *os.File) error {
+	opts := c.Opts.withDefaults()
+	h := sha256.New()
+	var written int64
+	var expected string // digest pinned from the first response
+	attempt := 0
+	for {
+		err := c.pullAttempt(ctx, opts, name, f, h, &written, &expected)
+		if err == nil {
+			got := digestString(h.Sum(nil))
+			if expected == "" || got == expected {
+				mPullBytes.Observe(float64(written))
+				return nil
+			}
+			mDigestMismatch.Inc()
+			err = transientf("pull digest mismatch: got %s, want %s", got, expected)
+			if rerr := resetDownload(f, h, &written); rerr != nil {
+				return rerr
+			}
+		}
+		if !isTransient(err) || attempt >= opts.Retries {
+			return err
+		}
+		attempt++
+		mRetries.Inc()
+		if serr := sleepCtx(ctx, backoffDelay(attempt, opts)); serr != nil {
+			return err
+		}
+	}
+}
+
+// pullAttempt performs one GET, resuming with a Range request when earlier
+// attempts already banked verified bytes. If-Range pins the pinned digest's
+// ETag so a republish between attempts yields a clean full restart (200)
+// instead of a mixed-content archive.
+func (c *Client) pullAttempt(ctx context.Context, opts Options, name string, f *os.File,
+	h hash.Hash, written *int64, expected *string) error {
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	u := fmt.Sprintf("%s/api/pull?name=%s", c.Base, url.QueryEscape(name))
+	req, err := http.NewRequestWithContext(actx, http.MethodGet, u, nil)
+	if err != nil {
+		return fmt.Errorf("%w: pull: %v", ErrHub, err)
+	}
+	resuming := *written > 0
+	if resuming {
+		req.Header.Set("Range", fmt.Sprintf("bytes=%d-", *written))
+		if *expected != "" {
+			req.Header.Set("If-Range", etagFor(*expected))
+		}
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return transientf("pull: %v", err)
+	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
+	switch resp.StatusCode {
+	case http.StatusOK:
+		// Full body: either a fresh download, a server without Range
+		// support, or content that changed since the partial download.
+		if resuming {
+			if err := resetDownload(f, h, written); err != nil {
+				return err
+			}
+		}
+	case http.StatusPartialContent:
+		start, err := parseContentRangeStart(resp.Header.Get("Content-Range"))
+		if err != nil || start != *written {
+			if rerr := resetDownload(f, h, written); rerr != nil {
+				return rerr
+			}
+			return transientf("pull resume at wrong offset (%q)", resp.Header.Get("Content-Range"))
+		}
+		mResumes.Inc()
+	default:
+		if resp.StatusCode >= 500 {
+			return transientf("pull failed (%d)", resp.StatusCode)
+		}
 		return fmt.Errorf("%w: pull failed (%d)", ErrHub, resp.StatusCode)
 	}
-	return UnpackRepo(resp.Body, destRoot)
+	if d := resp.Header.Get(DigestHeader); d != "" {
+		if *expected == "" {
+			*expected = d
+		} else if d != *expected {
+			// The name was republished. Pin the new digest and start over.
+			*expected = d
+			if err := resetDownload(f, h, written); err != nil {
+				return err
+			}
+			if resp.StatusCode == http.StatusPartialContent {
+				return transientf("pull content changed mid-download")
+			}
+		}
+	}
+	body := newStallReader(resp.Body, cancel, opts.StallTimeout)
+	defer body.stop()
+	n, err := io.Copy(io.MultiWriter(f, h), body)
+	*written += n
+	if err != nil {
+		return transientf("pull stream: %v", err)
+	}
+	return nil
+}
+
+// resetDownload discards banked partial-download state: the file is
+// truncated and the hash restarted so the next attempt begins from byte 0.
+func resetDownload(f *os.File, h hash.Hash, written *int64) error {
+	if err := f.Truncate(0); err != nil {
+		return fmt.Errorf("%w: pull: %v", ErrHub, err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("%w: pull: %v", ErrHub, err)
+	}
+	h.Reset()
+	*written = 0
+	return nil
+}
+
+// parseContentRangeStart extracts the first byte offset of a
+// "bytes START-END/TOTAL" Content-Range header.
+func parseContentRangeStart(v string) (int64, error) {
+	v, ok := strings.CutPrefix(v, "bytes ")
+	if !ok {
+		return 0, fmt.Errorf("%w: bad Content-Range", ErrHub)
+	}
+	dash := strings.IndexByte(v, '-')
+	if dash < 0 {
+		return 0, fmt.Errorf("%w: bad Content-Range", ErrHub)
+	}
+	start, err := strconv.ParseInt(v[:dash], 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%w: bad Content-Range: %v", ErrHub, err)
+	}
+	return start, nil
 }

@@ -1,0 +1,40 @@
+package hub
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+)
+
+// DigestHeader carries the hex SHA-256 of a transferred archive. Publishes
+// send it so the server can verify the upload end to end; pulls receive it
+// so the client can verify the download and guard resumed Range requests
+// (via If-Range on the matching ETag).
+const DigestHeader = "X-Content-SHA256"
+
+// digestString renders a finished SHA-256 sum as the lowercase hex form used
+// in DigestHeader, ETags, and blob file names.
+func digestString(sum []byte) string { return hex.EncodeToString(sum) }
+
+// fileDigest hashes a file on disk, returning its hex SHA-256 and size. Used
+// when reconciling a server data directory whose index lost (or predates)
+// the digest of a blob.
+func fileDigest(path string) (string, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", 0, err
+	}
+	defer f.Close()
+	h := sha256.New()
+	n, err := io.Copy(h, f)
+	if err != nil {
+		return "", 0, fmt.Errorf("%w: hashing %s: %v", ErrHub, path, err)
+	}
+	return digestString(h.Sum(nil)), n, nil
+}
+
+// etagFor wraps a digest in the strong-ETag quoting http.ServeContent and
+// If-Range expect.
+func etagFor(digest string) string { return `"` + digest + `"` }

@@ -69,23 +69,38 @@ func PackRepo(root string, w io.Writer) error {
 
 // UnpackRepo extracts a tar.gz produced by PackRepo into root. Paths are
 // sanitized: entries must stay under ".dlv/" and may not traverse upward.
-func UnpackRepo(r io.Reader, root string) error {
+// The gzip trailer is verified after the tar end marker, so a truncated or
+// checksum-corrupted archive is always reported even when the tar stream
+// itself looked complete.
+func UnpackRepo(r io.Reader, root string) (err error) {
 	gz, err := gzip.NewReader(r)
 	if err != nil {
 		return fmt.Errorf("%w: bad archive: %v", ErrHub, err)
 	}
-	defer gz.Close()
+	defer func() {
+		if cerr := gz.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("%w: corrupt archive: %v", ErrHub, cerr)
+		}
+	}()
 	tr := tar.NewReader(gz)
 	for {
 		hdr, err := tr.Next()
 		if err == io.EOF {
+			// The tar end marker can arrive before the gzip stream ends.
+			// Drain the remainder so gzip verifies its CRC/length trailer —
+			// a truncated trailer must not pass as a clean unpack.
+			if _, derr := io.Copy(io.Discard, gz); derr != nil {
+				return fmt.Errorf("%w: corrupt archive: %v", ErrHub, derr)
+			}
 			return nil
 		}
 		if err != nil {
 			return fmt.Errorf("%w: reading archive: %v", ErrHub, err)
 		}
 		clean := filepath.Clean(filepath.FromSlash(hdr.Name))
-		if strings.HasPrefix(clean, "..") || filepath.IsAbs(clean) {
+		// Only a literal ".." path element traverses upward; a name that
+		// merely starts with two dots (e.g. "..foo") is legitimate.
+		if clean == ".." || strings.HasPrefix(clean, ".."+string(filepath.Separator)) || filepath.IsAbs(clean) {
 			return fmt.Errorf("%w: archive entry escapes root: %q", ErrHub, hdr.Name)
 		}
 		if clean != ".dlv" && !strings.HasPrefix(clean, ".dlv"+string(filepath.Separator)) {

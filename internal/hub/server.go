@@ -1,9 +1,11 @@
 package hub
 
 import (
-	"bytes"
+	"crypto/sha256"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -16,8 +18,14 @@ import (
 	"modelhub/internal/obs"
 )
 
-// maxPublishBytes bounds one published archive (compressed).
-const maxPublishBytes = 1 << 30
+// maxPublishBytes bounds one published archive (compressed). A var so the
+// limit-handling tests can lower it without uploading a gigabyte.
+var maxPublishBytes int64 = 1 << 30
+
+// tmpPrefix marks in-flight files in the data directory. validateName
+// rejects leading dots, so no blob can ever collide with the prefix, and
+// startup reconciliation may delete anything carrying it.
+const tmpPrefix = ".tmp-"
 
 // RepoInfo is the search-result record for one published repository.
 type RepoInfo struct {
@@ -25,26 +33,48 @@ type RepoInfo struct {
 	SizeBytes   int64    `json:"size_bytes"`
 	PublishedAt string   `json:"published_at"`
 	Models      []string `json:"models"`
+	// SHA256 is the hex digest of the stored archive; it names the blob
+	// file on disk and travels in DigestHeader on pulls.
+	SHA256 string `json:"sha256,omitempty"`
 }
 
 // Server is the hosted ModelHub: it stores published repositories on disk
 // and answers search/pull requests. Create one with NewServer and mount its
 // Handler on an http.Server (or httptest).
+//
+// Storage is crash- and race-safe: publishes stream to a temp file, are
+// hashed while streaming, and are promoted with one atomic rename to a
+// content-addressed blob (<name>.<sha256>.tar.gz) under a per-name lock;
+// the index is journaled the same way (temp + rename). The commit order is
+// blob first, index second, and old blobs are unlinked only after the index
+// points away from them — so a concurrent pull never sees a torn archive
+// and a crash at any point is reconciled away at the next startup.
 type Server struct {
 	dir string
 	mu  sync.RWMutex
 	// index holds metadata per published name.
 	index map[string]RepoInfo
 	now   func() time.Time
+
+	// lockMu guards nameLocks; each per-name mutex serializes the
+	// promote + index-update critical section of concurrent publishes.
+	lockMu    sync.Mutex
+	nameLocks map[string]*sync.Mutex
 }
 
-// NewServer stores published repositories under dir.
+// NewServer stores published repositories under dir. Leftover state from a
+// crashed predecessor (temp files, promoted-but-unindexed blobs,
+// indexed-but-missing entries, pre-digest blob layouts) is reconciled so
+// the loaded index and the directory always agree.
 func NewServer(dir string) (*Server, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrHub, err)
 	}
-	s := &Server{dir: dir, index: map[string]RepoInfo{}, now: time.Now}
+	s := &Server{dir: dir, index: map[string]RepoInfo{}, now: time.Now, nameLocks: map[string]*sync.Mutex{}}
 	if err := s.loadIndex(); err != nil {
+		return nil, err
+	}
+	if err := s.reconcile(); err != nil {
 		return nil, err
 	}
 	return s, nil
@@ -66,17 +96,134 @@ func (s *Server) loadIndex() error {
 	return nil
 }
 
+// reconcile repairs the data directory after a crash or an upgrade:
+//
+//   - index entries whose blob is missing are dropped (a crash before the
+//     blob rename, or manual deletion) unless a legacy <name>.tar.gz blob
+//     exists, which is hashed and migrated to the content-addressed layout;
+//   - temp files and blobs no index entry references (a crash between blob
+//     promotion and index save) are deleted — that publish never became
+//     visible, and after reconciliation it is unobservable.
+func (s *Server) reconcile() error {
+	dirty := false
+	referenced := map[string]bool{"index.json": true}
+	for name, info := range s.index {
+		if info.SHA256 != "" {
+			if _, err := os.Stat(s.blobPath(name, info.SHA256)); err == nil {
+				referenced[blobFileName(name, info.SHA256)] = true
+				continue
+			}
+		}
+		legacy := filepath.Join(s.dir, name+".tar.gz")
+		if _, err := os.Stat(legacy); err == nil {
+			digest, size, err := fileDigest(legacy)
+			if err != nil {
+				return fmt.Errorf("%w: migrating %s: %v", ErrHub, name, err)
+			}
+			if err := os.Rename(legacy, s.blobPath(name, digest)); err != nil {
+				return fmt.Errorf("%w: migrating %s: %v", ErrHub, name, err)
+			}
+			info.SHA256 = digest
+			info.SizeBytes = size
+			s.index[name] = info
+			referenced[blobFileName(name, digest)] = true
+			dirty = true
+			continue
+		}
+		delete(s.index, name)
+		dirty = true
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrHub, err)
+	}
+	for _, e := range entries {
+		base := e.Name()
+		if e.IsDir() || referenced[base] {
+			continue
+		}
+		if strings.HasPrefix(base, tmpPrefix) || strings.HasSuffix(base, ".tar.gz") {
+			if err := os.Remove(filepath.Join(s.dir, base)); err != nil {
+				return fmt.Errorf("%w: removing stray %s: %v", ErrHub, base, err)
+			}
+		}
+	}
+	if dirty {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.saveIndexLocked()
+	}
+	return nil
+}
+
+// saveIndexLocked journals the index: marshal to a temp file, fsync, and
+// atomically rename over index.json, so a reader (or a restarted server)
+// sees either the old or the new index, never a torn one.
 func (s *Server) saveIndexLocked() error {
 	blob, err := json.MarshalIndent(s.index, "", " ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(s.indexPath(), blob, 0o644)
+	tmp, err := os.CreateTemp(s.dir, tmpPrefix+"index-*")
+	if err != nil {
+		return err
+	}
+	if err := writeSyncClose(tmp, blob); err != nil {
+		//mhlint:ignore errcheck the write error takes precedence over cleanup
+		_ = os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), s.indexPath()); err != nil {
+		//mhlint:ignore errcheck the rename error takes precedence over cleanup
+		_ = os.Remove(tmp.Name())
+		return err
+	}
+	return nil
 }
 
-func (s *Server) blobPath(name string) string {
-	// Names are restricted to a safe charset by validateName.
-	return filepath.Join(s.dir, name+".tar.gz")
+// writeSyncClose writes blob to f, then fsyncs and closes, reporting the
+// first failure.
+func writeSyncClose(f *os.File, blob []byte) error {
+	if _, err := f.Write(blob); err != nil {
+		//mhlint:ignore errcheck the write error takes precedence over cleanup
+		_ = f.Close()
+		return err
+	}
+	return syncClose(f)
+}
+
+// syncClose fsyncs and closes an already-written file, reporting the first
+// failure — the durability step before an atomic rename promotes the file.
+func syncClose(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		//mhlint:ignore errcheck the sync error takes precedence over cleanup
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// blobFileName is the content-addressed base name of a stored archive.
+func blobFileName(name, digest string) string { return name + "." + digest + ".tar.gz" }
+
+func (s *Server) blobPath(name, digest string) string {
+	// Names are restricted to a safe charset by validateName; digests are
+	// lowercase hex.
+	return filepath.Join(s.dir, blobFileName(name, digest))
+}
+
+// lockName serializes publishes of one name; the returned func releases.
+func (s *Server) lockName(name string) func() {
+	s.lockMu.Lock()
+	l := s.nameLocks[name]
+	if l == nil {
+		l = &sync.Mutex{}
+		s.nameLocks[name] = l
+	}
+	s.lockMu.Unlock()
+	//mhlint:ignore locksafe the unlock is the returned closure; callers defer it
+	l.Lock()
+	return l.Unlock
 }
 
 func validateName(name string) error {
@@ -99,7 +246,11 @@ func validateName(name string) error {
 //
 //	POST /api/publish?name=N   (body: tar.gz)  -> 200
 //	GET  /api/search?q=substr                  -> JSON []RepoInfo
-//	GET  /api/pull?name=N                      -> tar.gz
+//	GET  /api/pull?name=N                      -> tar.gz (Range supported)
+//
+// Pull responses carry Content-Length, an X-Content-SHA256 digest header,
+// and a digest-derived ETag, and honour Range/If-Range so interrupted
+// clients resume from their verified offset.
 //
 // The mux is wrapped in the obs middleware stack: panic recovery is always
 // active (a panicking handler yields a 500 with an ErrHub body instead of a
@@ -126,47 +277,118 @@ func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	var buf bytes.Buffer
-	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, maxPublishBytes)); err != nil {
-		http.Error(w, "archive too large or unreadable: "+err.Error(), http.StatusRequestEntityTooLarge)
+
+	// Stream the body to a temp file, hashing as it lands: no whole-archive
+	// buffer in memory, and nothing visible to search/pull until promotion.
+	tmp, err := os.CreateTemp(s.dir, tmpPrefix+"publish-*")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	models, err := inspectRepo(buf.Bytes())
+	tmpName := tmp.Name()
+	promoted := false
+	defer func() {
+		if !promoted {
+			//mhlint:ignore errcheck best-effort cleanup of an unpromoted upload
+			_ = os.Remove(tmpName)
+		}
+	}()
+	h := sha256.New()
+	size, err := io.Copy(io.MultiWriter(tmp, h), http.MaxBytesReader(w, r.Body, maxPublishBytes))
+	if err != nil {
+		//mhlint:ignore errcheck the copy error takes precedence over cleanup
+		_ = tmp.Close()
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			http.Error(w, fmt.Sprintf("archive exceeds the %d-byte publish limit", maxPublishBytes),
+				http.StatusRequestEntityTooLarge)
+			return
+		}
+		// The client disconnected or the body was malformed mid-upload;
+		// nothing was promoted, so the failed publish is unobservable.
+		http.Error(w, "upload aborted or unreadable: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	digest := digestString(h.Sum(nil))
+	if want := r.Header.Get(DigestHeader); want != "" && !strings.EqualFold(want, digest) {
+		//mhlint:ignore errcheck the digest failure takes precedence over cleanup
+		_ = tmp.Close()
+		mDigestMismatch.Inc()
+		http.Error(w, fmt.Sprintf("digest mismatch: body is %s, %s says %s", digest, DigestHeader, want),
+			http.StatusBadRequest)
+		return
+	}
+	if err := syncClose(tmp); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	models, err := inspectArchive(tmpName)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := os.WriteFile(s.blobPath(name), buf.Bytes(), 0o644); err != nil {
+
+	// Promote: blob rename first, index save second, old blob unlink last —
+	// all under the per-name lock so concurrent publishes of one name
+	// serialize and their blob/index states never interleave.
+	unlock := s.lockName(name)
+	defer unlock()
+	if err := os.Rename(tmpName, s.blobPath(name, digest)); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	promoted = true
+	s.mu.Lock()
+	prev, replaced := s.index[name]
 	s.index[name] = RepoInfo{
 		Name:        name,
-		SizeBytes:   int64(buf.Len()),
+		SizeBytes:   size,
 		PublishedAt: s.now().UTC().Format(time.RFC3339),
 		Models:      models,
+		SHA256:      digest,
 	}
-	if err := s.saveIndexLocked(); err != nil {
+	err = s.saveIndexLocked()
+	if err != nil {
+		// Roll the in-memory index back to match the persisted one.
+		if replaced {
+			s.index[name] = prev
+		} else {
+			delete(s.index, name)
+		}
+	}
+	s.mu.Unlock()
+	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	if replaced && prev.SHA256 != "" && prev.SHA256 != digest {
+		// Unlink the superseded blob. In-flight pulls keep their open file
+		// handle; new pulls already resolve the new digest.
+		//mhlint:ignore errcheck best-effort removal; reconcile sweeps strays at next startup
+		_ = os.Remove(s.blobPath(name, prev.SHA256))
+	}
+	mPublishBytes.Observe(float64(size))
+	w.Header().Set(DigestHeader, digest)
 	w.WriteHeader(http.StatusOK)
 }
 
-// inspectRepo unpacks a published archive into a temp dir and lists its
+// inspectArchive unpacks a stored archive into a temp dir and lists its
 // model names, validating the archive in the process. For repositories with
 // an archived version, the first archived snapshot is probed at byte-plane
 // prefix 1 through the PAS concurrent engine — a cheap high-plane integrity
 // check that rejects archives whose parameter store cannot be read back.
-func inspectRepo(blob []byte) ([]string, error) {
+func inspectArchive(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
 	tmp, err := os.MkdirTemp("", "hub-inspect-*")
 	if err != nil {
 		return nil, err
 	}
 	defer os.RemoveAll(tmp)
-	if err := UnpackRepo(bytes.NewReader(blob), tmp); err != nil {
+	if err := UnpackRepo(f, tmp); err != nil {
 		return nil, err
 	}
 	repo, err := dlv.Open(tmp)
@@ -203,7 +425,9 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	q := strings.ToLower(r.URL.Query().Get("q"))
 	s.mu.RLock()
-	var out []RepoInfo
+	// Empty results must encode as the JSON array [], not null — strict
+	// clients reject null where a list is promised.
+	out := []RepoInfo{}
 	for _, info := range s.index {
 		if q == "" || strings.Contains(strings.ToLower(info.Name), q) || matchModels(info.Models, q) {
 			out = append(out, info)
@@ -235,19 +459,60 @@ func (s *Server) handlePull(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	s.mu.RLock()
-	_, ok := s.index[name]
-	s.mu.RUnlock()
-	if !ok {
-		http.Error(w, "unknown repository", http.StatusNotFound)
-		return
+	// Resolve the current digest and open its blob. Content addressing
+	// makes the pair exact: an open handle always matches the digest it was
+	// resolved from, even while a republish promotes a new blob. If the
+	// blob vanished between the index read and the open (republish unlinked
+	// it), the re-read index names the new digest.
+	var info RepoInfo
+	var f *os.File
+	for attempt := 0; ; attempt++ {
+		var ok bool
+		s.mu.RLock()
+		info, ok = s.index[name]
+		s.mu.RUnlock()
+		if !ok {
+			http.Error(w, "unknown repository", http.StatusNotFound)
+			return
+		}
+		var err error
+		f, err = os.Open(s.blobPath(name, info.SHA256))
+		if err == nil {
+			break
+		}
+		if !os.IsNotExist(err) || attempt >= 4 {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
 	}
-	blob, err := os.ReadFile(s.blobPath(name))
+	defer f.Close()
+	st, err := f.Stat()
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	if r.Header.Get("Range") != "" {
+		mPullResumed.Inc()
+	}
 	w.Header().Set("Content-Type", "application/gzip")
-	//mhlint:ignore errcheck a response-write failure means the client went away; nothing to do
-	_, _ = w.Write(blob)
+	w.Header().Set(DigestHeader, info.SHA256)
+	w.Header().Set("ETag", etagFor(info.SHA256))
+	cw := &countingResponseWriter{ResponseWriter: w}
+	// ServeContent supplies Content-Length and Range/If-Range semantics
+	// over the open (immutable) blob handle.
+	http.ServeContent(cw, r, "", st.ModTime(), f)
+	mPullBytes.Observe(float64(cw.n))
+}
+
+// countingResponseWriter counts response-body bytes for the
+// hub.transfer.pull.bytes histogram.
+type countingResponseWriter struct {
+	http.ResponseWriter
+	n int64
+}
+
+func (c *countingResponseWriter) Write(p []byte) (int, error) {
+	n, err := c.ResponseWriter.Write(p)
+	c.n += int64(n)
+	return n, err
 }

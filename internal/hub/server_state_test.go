@@ -1,0 +1,457 @@
+package hub
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// packBytes packs the repo at root into memory.
+func packBytes(t *testing.T, root string) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := PackRepo(root, &buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// publishTo drives one publish through the real HTTP API and fails the test
+// on a non-200.
+func publishTo(t *testing.T, client *Client, root, name string) {
+	t.Helper()
+	if err := client.Publish(root, name); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// serverFiles lists the base names in a server data directory.
+func serverFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, e := range entries {
+		out = append(out, e.Name())
+	}
+	return out
+}
+
+// An upload cut mid-stream must leave no visible server state: no index
+// entry, no blob, no temp file.
+func TestPublishCutUploadLeavesNoState(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := NewServer(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := packBytes(t, makeRepo(t, "m"))
+	for _, cutAt := range []int{1, len(blob) / 2, len(blob) - 1} {
+		req := httptest.NewRequest(http.MethodPost, "/api/publish?name=r",
+			io.MultiReader(bytes.NewReader(blob[:cutAt]), &errorReader{}))
+		rec := httptest.NewRecorder()
+		srv.handlePublish(rec, req)
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("cut at %d: status = %d, want 400", cutAt, rec.Code)
+		}
+		if !strings.Contains(rec.Body.String(), "upload aborted") {
+			t.Fatalf("cut at %d: body = %q", cutAt, rec.Body.String())
+		}
+	}
+	for _, f := range serverFiles(t, dir) {
+		t.Errorf("failed publish left %q in the data dir", f)
+	}
+	if res := searchBody(t, srv, "r"); res != "[]\n" {
+		t.Fatalf("search after failed publishes = %q", res)
+	}
+}
+
+type errorReader struct{}
+
+func (errorReader) Read([]byte) (int, error) { return 0, errors.New("injected upload cut") }
+
+// Only the MaxBytesReader limit may answer 413; transport failures are 400.
+func TestPublishStatusDistinguishesLimitFromDisconnect(t *testing.T) {
+	old := maxPublishBytes
+	maxPublishBytes = 1024
+	defer func() { maxPublishBytes = old }()
+
+	srv, err := NewServer(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/api/publish?name=r",
+		bytes.NewReader(make([]byte, 4096)))
+	rec := httptest.NewRecorder()
+	srv.handlePublish(rec, req)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversize publish status = %d, want 413", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "publish limit") {
+		t.Fatalf("oversize body = %q", rec.Body.String())
+	}
+}
+
+// A publish whose body does not match its declared digest is rejected
+// before anything is promoted.
+func TestPublishDigestHeaderMismatch(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := NewServer(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/api/publish?name=r",
+		bytes.NewReader(packBytes(t, makeRepo(t, "m"))))
+	req.Header.Set(DigestHeader, strings.Repeat("f", 64))
+	rec := httptest.NewRecorder()
+	srv.handlePublish(rec, req)
+	if rec.Code != http.StatusBadRequest || !strings.Contains(rec.Body.String(), "digest mismatch") {
+		t.Fatalf("publish = %d %q", rec.Code, rec.Body.String())
+	}
+	for _, f := range serverFiles(t, dir) {
+		t.Errorf("rejected publish left %q", f)
+	}
+}
+
+// searchBody fetches the raw search response body.
+func searchBody(t *testing.T, srv *Server, q string) string {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	srv.handleSearch(rec, httptest.NewRequest(http.MethodGet, "/api/search?q="+q, nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("search status = %d", rec.Code)
+	}
+	return rec.Body.String()
+}
+
+// An empty result set must encode as the JSON array literal [], not null.
+func TestSearchEmptyEncodesAsArray(t *testing.T) {
+	srv, err := NewServer(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := searchBody(t, srv, "nothing-matches"); body != "[]\n" {
+		t.Fatalf("empty search body = %q, want \"[]\\n\"", body)
+	}
+}
+
+// Pulls carry Content-Length, the digest header, a digest ETag, and honour
+// Range requests with correct 206 semantics.
+func TestPullHeadersAndRange(t *testing.T) {
+	_, client := newTestServer(t)
+	publishTo(t, client, makeRepo(t, "m"), "r")
+	infos, err := client.Search("r")
+	if err != nil || len(infos) != 1 {
+		t.Fatalf("search = %v, %v", infos, err)
+	}
+	resp, err := http.Get(client.Base + "/api/pull?name=r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	//mhlint:ignore errcheck response fully read above
+	_ = resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("pull = %d, %v", resp.StatusCode, err)
+	}
+	if int64(len(body)) != infos[0].SizeBytes || resp.ContentLength != infos[0].SizeBytes {
+		t.Fatalf("len(body) = %d, Content-Length = %d, want %d", len(body), resp.ContentLength, infos[0].SizeBytes)
+	}
+	sum := sha256.Sum256(body)
+	if got := resp.Header.Get(DigestHeader); got != digestString(sum[:]) || got != infos[0].SHA256 {
+		t.Fatalf("digest header = %q, body digest = %q, index digest = %q", got, digestString(sum[:]), infos[0].SHA256)
+	}
+	if etag := resp.Header.Get("ETag"); etag != etagFor(infos[0].SHA256) {
+		t.Fatalf("ETag = %q", etag)
+	}
+
+	// Resume from byte 10 with the matching If-Range.
+	req, err := http.NewRequest(http.MethodGet, client.Base+"/api/pull?name=r", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Range", "bytes=10-")
+	req.Header.Set("If-Range", etagFor(infos[0].SHA256))
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rest, err := io.ReadAll(resp2.Body)
+	//mhlint:ignore errcheck response fully read above
+	_ = resp2.Body.Close()
+	if err != nil || resp2.StatusCode != http.StatusPartialContent {
+		t.Fatalf("range pull = %d, %v", resp2.StatusCode, err)
+	}
+	if want := fmt.Sprintf("bytes 10-%d/%d", len(body)-1, len(body)); resp2.Header.Get("Content-Range") != want {
+		t.Fatalf("Content-Range = %q, want %q", resp2.Header.Get("Content-Range"), want)
+	}
+	if !bytes.Equal(rest, body[10:]) {
+		t.Fatal("range pull body differs from the archive suffix")
+	}
+	// A stale If-Range (content replaced) falls back to a full 200 body.
+	req.Header.Set("If-Range", etagFor(strings.Repeat("0", 64)))
+	resp3, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := io.ReadAll(resp3.Body)
+	//mhlint:ignore errcheck response fully read above
+	_ = resp3.Body.Close()
+	if err != nil || resp3.StatusCode != http.StatusOK || !bytes.Equal(full, body) {
+		t.Fatalf("stale If-Range: status %d, %d bytes, %v", resp3.StatusCode, len(full), err)
+	}
+}
+
+// A crash between blob promotion and index save (fresh name) must be
+// unobservable after restart: the orphan blob is swept, search stays empty.
+func TestReconcileSweepsOrphanBlob(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := NewServer(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	client := NewClientWith(ts.URL, Options{})
+	publishTo(t, client, makeRepo(t, "m"), "kept")
+	ts.Close()
+
+	// Simulate the crash: a promoted blob for a name the index never saw.
+	blob := packBytes(t, makeRepo(t, "ghost-model"))
+	sum := sha256.Sum256(blob)
+	orphan := filepath.Join(dir, blobFileName("ghost", digestString(sum[:])))
+	if err := os.WriteFile(orphan, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := NewServer(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := searchBody(t, srv2, "ghost"); body != "[]\n" {
+		t.Fatalf("orphan blob became visible: %q", body)
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatal("orphan blob survived reconciliation")
+	}
+	if body := searchBody(t, srv2, "kept"); !strings.Contains(body, `"kept"`) {
+		t.Fatalf("committed publish lost in reconciliation: %q", body)
+	}
+}
+
+// A crash during a REpublish (new blob promoted, index not yet saved) must
+// leave the previous version fully intact after restart.
+func TestReconcileRepublishCrashKeepsOldVersion(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := NewServer(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	client := NewClientWith(ts.URL, Options{})
+	publishTo(t, client, makeRepo(t, "v1-model"), "r")
+	infos, err := client.Search("r")
+	if err != nil || len(infos) != 1 {
+		t.Fatalf("search = %v, %v", infos, err)
+	}
+	oldDigest := infos[0].SHA256
+	ts.Close()
+
+	// The crashed republish: its blob landed, the index save never did.
+	newBlob := packBytes(t, makeRepo(t, "v2-model"))
+	sum := sha256.Sum256(newBlob)
+	stranded := filepath.Join(dir, blobFileName("r", digestString(sum[:])))
+	if err := os.WriteFile(stranded, newBlob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, err := NewServer(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	client2 := NewClientWith(ts2.URL, Options{})
+	infos2, err := client2.Search("r")
+	if err != nil || len(infos2) != 1 || infos2[0].SHA256 != oldDigest {
+		t.Fatalf("after crash-restart: %+v, %v (want digest %s)", infos2, err, oldDigest)
+	}
+	if len(infos2[0].Models) != 1 || infos2[0].Models[0] != "v1-model" {
+		t.Fatalf("models after crash-restart = %v", infos2[0].Models)
+	}
+	if _, err := os.Stat(stranded); !os.IsNotExist(err) {
+		t.Fatal("stranded republish blob survived reconciliation")
+	}
+	// And the old version still pulls + digest-verifies end to end.
+	dest := t.TempDir()
+	if err := client2.Pull("r", dest); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// An index entry whose blob is gone must be dropped at load, not serve 500s.
+func TestReconcileDropsIndexedButMissing(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := NewServer(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	client := NewClientWith(ts.URL, Options{})
+	publishTo(t, client, makeRepo(t, "m"), "gone")
+	infos, err := client.Search("gone")
+	if err != nil || len(infos) != 1 {
+		t.Fatalf("search = %v, %v", infos, err)
+	}
+	ts.Close()
+	if err := os.Remove(filepath.Join(dir, blobFileName("gone", infos[0].SHA256))); err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := NewServer(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := searchBody(t, srv2, "gone"); body != "[]\n" {
+		t.Fatalf("missing-blob entry still visible: %q", body)
+	}
+}
+
+// Pre-digest data directories (legacy <name>.tar.gz layout, no sha256 in
+// the index) are migrated in place on load.
+func TestReconcileMigratesLegacyLayout(t *testing.T) {
+	dir := t.TempDir()
+	blob := packBytes(t, makeRepo(t, "old-model"))
+	if err := os.WriteFile(filepath.Join(dir, "legacy.tar.gz"), blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	idx := map[string]RepoInfo{"legacy": {
+		Name: "legacy", SizeBytes: int64(len(blob)), PublishedAt: "2026-01-01T00:00:00Z",
+		Models: []string{"old-model"},
+	}}
+	idxBlob, err := json.Marshal(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "index.json"), idxBlob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := NewServer(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := NewClientWith(ts.URL, Options{})
+	infos, err := client.Search("legacy")
+	if err != nil || len(infos) != 1 {
+		t.Fatalf("search = %v, %v", infos, err)
+	}
+	sum := sha256.Sum256(blob)
+	if infos[0].SHA256 != digestString(sum[:]) {
+		t.Fatalf("migrated digest = %q, want %q", infos[0].SHA256, digestString(sum[:]))
+	}
+	if _, err := os.Stat(filepath.Join(dir, "legacy.tar.gz")); !os.IsNotExist(err) {
+		t.Fatal("legacy blob not renamed")
+	}
+	if err := client.Pull("legacy", t.TempDir()); err != nil {
+		t.Fatalf("pull of migrated repo: %v", err)
+	}
+}
+
+// Stray temp files from in-flight publishes are removed at startup.
+func TestReconcileRemovesTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	stray := filepath.Join(dir, tmpPrefix+"publish-12345")
+	if err := os.WriteFile(stray, []byte("partial upload"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewServer(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stray); !os.IsNotExist(err) {
+		t.Fatal("temp file survived startup reconciliation")
+	}
+}
+
+// The torn-blob race: concurrent publishes, pulls, and searches on one name
+// must never let a pull observe bytes that do not hash to the digest the
+// server advertised for them.
+func TestConcurrentPublishPullSearch(t *testing.T) {
+	_, client := newTestServer(t)
+	roots := []string{makeRepo(t, "gen1"), makeRepo(t, "gen2")}
+	publishTo(t, client, roots[0], "hammer")
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 128)
+	report := func(format string, args ...any) {
+		select {
+		case errs <- fmt.Errorf(format, args...):
+		default:
+		}
+	}
+	for p := 0; p < 2; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				if err := client.Publish(roots[(p+i)%2], "hammer"); err != nil {
+					report("publish: %v", err)
+				}
+			}
+		}(p)
+	}
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 12; i++ {
+				resp, err := http.Get(client.Base + "/api/pull?name=hammer")
+				if err != nil {
+					report("pull: %v", err)
+					continue
+				}
+				body, err := io.ReadAll(resp.Body)
+				//mhlint:ignore errcheck response fully read above
+				_ = resp.Body.Close()
+				if err != nil || resp.StatusCode != http.StatusOK {
+					report("pull read: %d, %v", resp.StatusCode, err)
+					continue
+				}
+				sum := sha256.Sum256(body)
+				if got, want := digestString(sum[:]), resp.Header.Get(DigestHeader); got != want {
+					report("torn pull: body digest %s, advertised %s", got, want)
+				}
+				if int64(len(body)) != resp.ContentLength {
+					report("short pull: %d of %d bytes", len(body), resp.ContentLength)
+				}
+			}
+		}()
+	}
+	for p := 0; p < 2; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				if _, err := client.Search("hammer"); err != nil {
+					report("search: %v", err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

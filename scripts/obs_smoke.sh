@@ -4,8 +4,12 @@
 # Builds dlv and modelhub-server, trains + archives a tiny model, starts the
 # server with -metrics, drives one publish and one pull through the real
 # HTTP API, then scrapes /metrics and asserts the payload is well-formed
-# JSON with nonzero hub.http.* and pas.* counters, and that /debug/pprof/
-# is reachable. Run via `make obs-smoke`.
+# JSON with nonzero hub.http.*, hub.transfer.* and pas.* counters, and that
+# /debug/pprof/ is reachable. It then exercises the transfer-path hardening:
+# the server is SIGTERMed (must drain and exit 0), restarted on the same
+# data dir with -flaky-pull-cut so every full-archive pull is severed
+# mid-stream, and a second pull must transparently resume via Range and
+# land a working repository. Run via `make obs-smoke`.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -68,7 +72,55 @@ check_nonzero "pas.plane_cache.misses"
 check_nonzero "pas.chunk.reads"
 check_nonzero "pas.retrieval.snapshots.concurrent"
 jq -e '."hub.http.request_seconds".count >= 2' "$METRICS" >/dev/null
+jq -e '."hub.transfer.publish.bytes".count >= 1' "$METRICS" >/dev/null
+jq -e '."hub.transfer.pull.bytes".count >= 1' "$METRICS" >/dev/null
 
 curl -fsS "http://$ADDR/debug/pprof/" >/dev/null
 
-echo "obs-smoke: OK ($(jq length "$METRICS") metrics exported)"
+# Graceful shutdown: SIGTERM must drain in-flight work and exit 0.
+kill -TERM "$SRV_PID"
+if ! wait "$SRV_PID"; then
+  echo "obs-smoke: server did not exit cleanly on SIGTERM; log follows" >&2
+  cat "$TMP/server.log" >&2
+  exit 1
+fi
+SRV_PID=""
+grep -q "shutdown complete" "$TMP/server.log" || {
+  echo "obs-smoke: no graceful-shutdown log line" >&2
+  exit 1
+}
+
+# Kill-mid-pull resume: restart on the same data dir with fault injection
+# that severs every full-archive pull after 512 bytes. The client must
+# resume via Range and still land a repository that lists its model.
+"$TMP/modelhub-server" -addr "$ADDR" -data "$TMP/hub-data" -metrics -v \
+  -flaky-pull-cut 512 2>"$TMP/server2.log" &
+SRV_PID=$!
+ready=0
+for _ in $(seq 1 50); do
+  if curl -fsS "http://$ADDR/api/search?q=" >/dev/null 2>&1; then ready=1; break; fi
+  sleep 0.2
+done
+if [ "$ready" != 1 ]; then
+  echo "obs-smoke: flaky server did not start; log follows" >&2
+  cat "$TMP/server2.log" >&2
+  exit 1
+fi
+
+"$TMP/dlv" pull -remote "http://$ADDR" -name smoke-repo -dest "$TMP/pulled2" >/dev/null
+"$TMP/dlv" list -repo "$TMP/pulled2" | grep -q smoke-lenet || {
+  echo "obs-smoke: resumed pull produced a repository without the model" >&2
+  exit 1
+}
+
+curl -fsS "http://$ADDR/metrics" >"$METRICS"
+jq -e '."hub.transfer.pull.resumed_requests" >= 1' "$METRICS" >/dev/null || {
+  echo "obs-smoke: pull completed but no resumed Range request was counted" >&2
+  exit 1
+}
+
+kill -TERM "$SRV_PID"
+wait "$SRV_PID" || true
+SRV_PID=""
+
+echo "obs-smoke: OK ($(jq length "$METRICS") metrics exported; mid-stream cut pull resumed)"
