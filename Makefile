@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: build vet fmt-check lint test test-race fuzz-smoke obs-smoke bench bench-train check help
+.PHONY: build vet fmt-check lint test test-race test-layouts fuzz-smoke obs-smoke bench bench-train bench-store check help
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,7 @@ test-race:
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzDQLParse -fuzztime=$(FUZZTIME) ./internal/dql
 	$(GO) test -run='^$$' -fuzz=FuzzSegmentRoundTrip -fuzztime=$(FUZZTIME) ./internal/floatenc
+	$(GO) test -run='^$$' -fuzz=FuzzSegmentIndex -fuzztime=$(FUZZTIME) ./internal/pas
 
 # End-to-end observability check: start modelhub-server -metrics, publish +
 # pull a tiny archived repo, scrape /metrics, assert well-formed JSON with
@@ -48,6 +49,18 @@ bench:
 bench-train:
 	$(GO) test -bench='BenchmarkConvForward|BenchmarkGemm$$|BenchmarkEvaluateGrid|BenchmarkTrainingStep' -run=^$$ .
 
+# Storage-engine comparison: legacy per-chunk files vs gen-2 segment layout
+# (cold-checkout latency, payload file opens, disk bytes, dedup). Writes
+# BENCH_store.json.
+bench-store:
+	$(GO) run ./cmd/mhbench -exp storebench -store-json BENCH_store.json
+
+# The PAS/DLV suites against both on-disk layouts, like the CI matrix. The
+# env var pins what Create uses and whether Open migrates legacy archives.
+test-layouts:
+	MODELHUB_PAS_LAYOUT=legacy $(GO) test ./internal/pas/ ./internal/dlv/
+	MODELHUB_PAS_LAYOUT=segment $(GO) test ./internal/pas/ ./internal/dlv/
+
 check: build vet fmt-check lint test test-race
 
 help:
@@ -61,4 +74,6 @@ help:
 	@echo "obs-smoke   - live /metrics + pprof scrape against a real server"
 	@echo "bench       - run all benchmarks once"
 	@echo "bench-train - training-substrate kernel benchmarks"
+	@echo "bench-store - legacy vs segment storage layout comparison (BENCH_store.json)"
+	@echo "test-layouts - pas/dlv tests against both storage layouts"
 	@echo "check       - build + vet + fmt-check + lint + test + test-race"

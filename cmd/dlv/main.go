@@ -15,6 +15,8 @@
 //	dlv desc    -v ID [-html FILE]
 //	dlv diff    -a ID -b ID [-html FILE]
 //	dlv archive [-algo pas-mt|pas-pt|mst|spt|last|best] [-alpha F] [-scheme NAME] [-purge]
+//	dlv gc
+//	dlv repack
 //	dlv eval    -v ID [-snap LABEL] [-prefix 1..4] [-progressive [-topk K]]
 //	dlv plot    -v ID [-layer NAME] [-prefix 1..4] -o weights.html
 //	dlv query   'select m where ...'
@@ -27,6 +29,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -69,9 +72,43 @@ func main() {
 	}
 	cmd, args := global.Arg(0), global.Args()[1:]
 	if err := run(cmd, args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(2) // the flag package already printed the usage
+		}
 		fmt.Fprintln(os.Stderr, "dlv:", err)
 		os.Exit(1)
 	}
+}
+
+// globalFlagNames are the dlv-level flags that must precede the subcommand.
+var globalFlagNames = map[string]bool{"v": true, "log-level": true}
+
+// parseCmd parses a subcommand's flags and, instead of silently dropping
+// them (flag parsing stops at the first positional) or reporting a bare
+// "not defined" error, rejects global flags placed after the subcommand
+// with a usage error naming the misplaced flag.
+func parseCmd(fs *flag.FlagSet, args []string) error {
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		if name, ok := strings.CutPrefix(err.Error(), "flag provided but not defined: -"); ok && globalFlagNames[name] {
+			return misplacedGlobalFlag(fs.Name(), name)
+		}
+		return err
+	}
+	for _, a := range fs.Args() {
+		name := strings.TrimLeft(a, "-")
+		name, _, _ = strings.Cut(name, "=")
+		if len(name) < len(a) && globalFlagNames[name] && fs.Lookup(name) == nil {
+			return misplacedGlobalFlag(fs.Name(), name)
+		}
+	}
+	return nil
+}
+
+func misplacedGlobalFlag(cmd, name string) error {
+	return fmt.Errorf("global flag -%s must come before the subcommand: dlv -%s %s ...", name, name, cmd)
 }
 
 // configureLogging installs a stderr slog handler when -v or -log-level is
@@ -93,15 +130,17 @@ func configureLogging(verbose bool, level string) error {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: dlv [-v] [-log-level LEVEL] <command> [flags]
-commands: init add train copy list desc diff archive eval history plot query publish search pull`)
+commands: init add train copy list desc diff archive gc repack eval history plot query publish search pull`)
 }
 
 func run(cmd string, args []string) error {
 	switch cmd {
 	case "init":
-		fs := flag.NewFlagSet("init", flag.ExitOnError)
+		fs := flag.NewFlagSet("init", flag.ContinueOnError)
 		repoDir := fs.String("repo", ".", "repository directory")
-		fs.Parse(args)
+		if err := parseCmd(fs, args); err != nil {
+			return err
+		}
 		if _, err := core.Init(*repoDir); err != nil {
 			return err
 		}
@@ -109,9 +148,11 @@ func run(cmd string, args []string) error {
 		return nil
 
 	case "add":
-		fs := flag.NewFlagSet("add", flag.ExitOnError)
+		fs := flag.NewFlagSet("add", flag.ContinueOnError)
 		repoDir := fs.String("repo", ".", "repository directory")
-		fs.Parse(args)
+		if err := parseCmd(fs, args); err != nil {
+			return err
+		}
 		files := fs.Args()
 		if len(files) == 0 {
 			return fmt.Errorf("add: pass at least one repository-relative file")
@@ -133,7 +174,7 @@ func run(cmd string, args []string) error {
 		return nil
 
 	case "train":
-		fs := flag.NewFlagSet("train", flag.ExitOnError)
+		fs := flag.NewFlagSet("train", flag.ContinueOnError)
 		repoDir := fs.String("repo", ".", "repository directory")
 		name := fs.String("name", "", "model version name (required)")
 		arch := fs.String("arch", "lenet", "zoo architecture")
@@ -144,7 +185,9 @@ func run(cmd string, args []string) error {
 		parent := fs.Int64("parent", 0, "parent version id for fine-tuning")
 		seed := fs.Int64("seed", 1, "random seed")
 		msg := fs.String("m", "", "commit message")
-		fs.Parse(args)
+		if err := parseCmd(fs, args); err != nil {
+			return err
+		}
 		if *name == "" {
 			return fmt.Errorf("train: -name is required")
 		}
@@ -167,12 +210,14 @@ func run(cmd string, args []string) error {
 		return nil
 
 	case "copy":
-		fs := flag.NewFlagSet("copy", flag.ExitOnError)
+		fs := flag.NewFlagSet("copy", flag.ContinueOnError)
 		repoDir := fs.String("repo", ".", "repository directory")
 		from := fs.Int64("from", 0, "source version id (required)")
 		name := fs.String("name", "", "new model name (required)")
 		msg := fs.String("m", "scaffolded", "commit message")
-		fs.Parse(args)
+		if err := parseCmd(fs, args); err != nil {
+			return err
+		}
 		if *from == 0 || *name == "" {
 			return fmt.Errorf("copy: -from and -name are required")
 		}
@@ -188,10 +233,12 @@ func run(cmd string, args []string) error {
 		return nil
 
 	case "list":
-		fs := flag.NewFlagSet("list", flag.ExitOnError)
+		fs := flag.NewFlagSet("list", flag.ContinueOnError)
 		repoDir := fs.String("repo", ".", "repository directory")
 		htmlOut := fs.String("html", "", "write an HTML report to this file instead of stdout")
-		fs.Parse(args)
+		if err := parseCmd(fs, args); err != nil {
+			return err
+		}
 		mh, err := core.Open(*repoDir)
 		if err != nil {
 			return err
@@ -218,11 +265,13 @@ func run(cmd string, args []string) error {
 		return nil
 
 	case "desc":
-		fs := flag.NewFlagSet("desc", flag.ExitOnError)
+		fs := flag.NewFlagSet("desc", flag.ContinueOnError)
 		repoDir := fs.String("repo", ".", "repository directory")
 		id := fs.Int64("v", 0, "version id (required)")
 		htmlOut := fs.String("html", "", "write an HTML report to this file instead of stdout")
-		fs.Parse(args)
+		if err := parseCmd(fs, args); err != nil {
+			return err
+		}
 		if *id == 0 {
 			return fmt.Errorf("desc: -v is required")
 		}
@@ -259,13 +308,15 @@ func run(cmd string, args []string) error {
 		return nil
 
 	case "diff":
-		fs := flag.NewFlagSet("diff", flag.ExitOnError)
+		fs := flag.NewFlagSet("diff", flag.ContinueOnError)
 		repoDir := fs.String("repo", ".", "repository directory")
 		a := fs.Int64("a", 0, "first version id")
 		b := fs.Int64("b", 0, "second version id")
 		htmlOut := fs.String("html", "", "write an HTML report to this file instead of stdout")
 		weights := fs.Bool("weights", false, "also compare the learned parameters layer by layer")
-		fs.Parse(args)
+		if err := parseCmd(fs, args); err != nil {
+			return err
+		}
 		if *a == 0 || *b == 0 {
 			return fmt.Errorf("diff: -a and -b are required")
 		}
@@ -311,7 +362,7 @@ func run(cmd string, args []string) error {
 		return nil
 
 	case "archive":
-		fs := flag.NewFlagSet("archive", flag.ExitOnError)
+		fs := flag.NewFlagSet("archive", flag.ContinueOnError)
 		repoDir := fs.String("repo", ".", "repository directory")
 		algo := fs.String("algo", "pas-mt", "plan algorithm: pas-mt pas-pt mst spt last best")
 		alpha := fs.Float64("alpha", 2.0, "recreation budget scalar (x SPT cost)")
@@ -323,7 +374,9 @@ func run(cmd string, args []string) error {
 			"lossy float scheme for checkpoint (non-latest) snapshots: float16 bfloat16 fixed-N quant-N")
 		explain := fs.Bool("explain", false, "print per-snapshot recreation costs vs budgets")
 		planes := fs.Bool("plane-granularity", false, "optimize storage per byte segment instead of per matrix")
-		fs.Parse(args)
+		if err := parseCmd(fs, args); err != nil {
+			return err
+		}
 		mh, err := core.Open(*repoDir)
 		if err != nil {
 			return err
@@ -370,8 +423,31 @@ func run(cmd string, args []string) error {
 		}
 		return nil
 
+	case "gc", "repack":
+		fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+		repoDir := fs.String("repo", ".", "repository directory")
+		if err := parseCmd(fs, args); err != nil {
+			return err
+		}
+		mh, err := core.Open(*repoDir)
+		if err != nil {
+			return err
+		}
+		var stats pas.GCStats
+		if cmd == "gc" {
+			stats, err = mh.GC()
+		} else {
+			stats, err = mh.Repack()
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: %d segment(s), rewrote %d, dropped %d unreferenced chunk(s), reclaimed %d bytes (live payload bytes: %d)\n",
+			cmd, stats.Segments, stats.Rewritten, stats.DroppedChunks, stats.ReclaimedBytes, stats.LiveBytes)
+		return nil
+
 	case "eval":
-		fs := flag.NewFlagSet("eval", flag.ExitOnError)
+		fs := flag.NewFlagSet("eval", flag.ContinueOnError)
 		repoDir := fs.String("repo", ".", "repository directory")
 		id := fs.Int64("v", 0, "version id (required)")
 		snap := fs.String("snap", dlv.LatestSnap, "snapshot label")
@@ -381,7 +457,9 @@ func run(cmd string, args []string) error {
 		n := fs.Int("n", 100, "test examples")
 		seed := fs.Int64("seed", 99, "test set seed")
 		dataFile := fs.String("data", "", "JSON file of data points (overrides the synthetic test set)")
-		fs.Parse(args)
+		if err := parseCmd(fs, args); err != nil {
+			return err
+		}
 		if *id == 0 {
 			return fmt.Errorf("eval: -v is required")
 		}
@@ -417,12 +495,14 @@ func run(cmd string, args []string) error {
 		return nil
 
 	case "history":
-		fs := flag.NewFlagSet("history", flag.ExitOnError)
+		fs := flag.NewFlagSet("history", flag.ContinueOnError)
 		repoDir := fs.String("repo", ".", "repository directory")
 		id := fs.Int64("v", 0, "version id (required)")
 		n := fs.Int("n", 100, "test examples")
 		seed := fs.Int64("seed", 99, "test set seed")
-		fs.Parse(args)
+		if err := parseCmd(fs, args); err != nil {
+			return err
+		}
 		if *id == 0 {
 			return fmt.Errorf("history: -v is required")
 		}
@@ -443,14 +523,16 @@ func run(cmd string, args []string) error {
 	case "plot":
 		// Matrix plots from high-order bytes only (paper Sec. IV-D: such
 		// exploration queries do not need the low-order planes).
-		fs := flag.NewFlagSet("plot", flag.ExitOnError)
+		fs := flag.NewFlagSet("plot", flag.ContinueOnError)
 		repoDir := fs.String("repo", ".", "repository directory")
 		id := fs.Int64("v", 0, "version id (required)")
 		snap := fs.String("snap", dlv.LatestSnap, "snapshot label")
 		layer := fs.String("layer", "", "layer name (default: all parametric layers)")
 		prefix := fs.Int("prefix", 2, "byte planes to read (1..4)")
 		out := fs.String("o", "weights.html", "output HTML file")
-		fs.Parse(args)
+		if err := parseCmd(fs, args); err != nil {
+			return err
+		}
 		if *id == 0 {
 			return fmt.Errorf("plot: -v is required")
 		}
@@ -483,9 +565,11 @@ func run(cmd string, args []string) error {
 		return nil
 
 	case "query":
-		fs := flag.NewFlagSet("query", flag.ExitOnError)
+		fs := flag.NewFlagSet("query", flag.ContinueOnError)
 		repoDir := fs.String("repo", ".", "repository directory")
-		fs.Parse(args)
+		if err := parseCmd(fs, args); err != nil {
+			return err
+		}
 		rest := fs.Args()
 		if len(rest) != 1 {
 			return fmt.Errorf("query: pass exactly one DQL statement")
@@ -520,12 +604,14 @@ func run(cmd string, args []string) error {
 		return nil
 
 	case "publish":
-		fs := flag.NewFlagSet("publish", flag.ExitOnError)
+		fs := flag.NewFlagSet("publish", flag.ContinueOnError)
 		repoDir := fs.String("repo", ".", "repository directory")
 		remote := fs.String("remote", "", "hub server URL (required)")
 		name := fs.String("name", "", "published repository name (required)")
 		opts := hubFlags(fs)
-		fs.Parse(args)
+		if err := parseCmd(fs, args); err != nil {
+			return err
+		}
 		if *remote == "" || *name == "" {
 			return fmt.Errorf("publish: -remote and -name are required")
 		}
@@ -540,11 +626,13 @@ func run(cmd string, args []string) error {
 		return nil
 
 	case "search":
-		fs := flag.NewFlagSet("search", flag.ExitOnError)
+		fs := flag.NewFlagSet("search", flag.ContinueOnError)
 		remote := fs.String("remote", "", "hub server URL (required)")
 		q := fs.String("q", "", "search query")
 		opts := hubFlags(fs)
-		fs.Parse(args)
+		if err := parseCmd(fs, args); err != nil {
+			return err
+		}
 		if *remote == "" {
 			return fmt.Errorf("search: -remote is required")
 		}
@@ -559,12 +647,14 @@ func run(cmd string, args []string) error {
 		return nil
 
 	case "pull":
-		fs := flag.NewFlagSet("pull", flag.ExitOnError)
+		fs := flag.NewFlagSet("pull", flag.ContinueOnError)
 		remote := fs.String("remote", "", "hub server URL (required)")
 		name := fs.String("name", "", "repository name (required)")
 		dest := fs.String("dest", ".", "destination directory")
 		opts := hubFlags(fs)
-		fs.Parse(args)
+		if err := parseCmd(fs, args); err != nil {
+			return err
+		}
 		if *remote == "" || *name == "" {
 			return fmt.Errorf("pull: -remote and -name are required")
 		}

@@ -279,3 +279,61 @@ func TestCLIHistory(t *testing.T) {
 		t.Fatal("history without -v must fail")
 	}
 }
+
+func TestCLIGCRepack(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("init", []string{"-repo", dir}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("train", repoArgs(dir, "-name", "m", "-epochs", "1", "-checkpoint-every", "8", "-seed", "21")); err != nil {
+		t.Fatal(err)
+	}
+	// Before any archive exists, maintenance must fail with an error, not panic.
+	if err := run("gc", repoArgs(dir)); err == nil {
+		t.Fatal("gc before archive must fail")
+	}
+	if err := run("archive", repoArgs(dir, "-algo", "pas-mt", "-alpha", "2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("gc", repoArgs(dir)); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("repack", repoArgs(dir)); err != nil {
+		t.Fatal(err)
+	}
+	// The archive still checks out after compaction.
+	if err := run("eval", repoArgs(dir, "-v", "1", "-n", "10")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Global flags placed after the subcommand must fail loudly, naming the
+// misplaced flag — previously they were silently swallowed as positional
+// arguments.
+func TestCLIMisplacedGlobalFlags(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("init", []string{"-repo", dir}); err != nil {
+		t.Fatal(err)
+	}
+	err := run("list", repoArgs(dir, "-v"))
+	if err == nil || !strings.Contains(err.Error(), "before the subcommand") || !strings.Contains(err.Error(), "-v") {
+		t.Fatalf("list -v: got %v, want misplaced-global-flag error naming -v", err)
+	}
+	err = run("list", repoArgs(dir, "-log-level=debug"))
+	if err == nil || !strings.Contains(err.Error(), "before the subcommand") || !strings.Contains(err.Error(), "-log-level") {
+		t.Fatalf("list -log-level=debug: got %v, want misplaced-global-flag error naming -log-level", err)
+	}
+	// Same when the flag parser itself rejects the token (flag position
+	// rather than trailing argument).
+	err = run("gc", append([]string{"-log-level", "debug"}, repoArgs(dir)...))
+	if err == nil || !strings.Contains(err.Error(), "before the subcommand") {
+		t.Fatalf("gc -log-level: got %v, want misplaced-global-flag error", err)
+	}
+	// eval defines its own -v (version id); it must keep working.
+	if err := run("train", repoArgs(dir, "-name", "m", "-epochs", "1", "-seed", "22")); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("eval", repoArgs(dir, "-v", "1", "-n", "10")); err != nil {
+		t.Fatal(err)
+	}
+}

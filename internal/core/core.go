@@ -13,6 +13,7 @@ import (
 	"modelhub/internal/dnn"
 	"modelhub/internal/dql"
 	"modelhub/internal/hub"
+	"modelhub/internal/pas"
 	"modelhub/internal/zoo"
 )
 
@@ -163,6 +164,18 @@ func (m *ModelHub) Query(text string) (*dql.Result, error) {
 func (m *ModelHub) Archive(opts dlv.ArchiveOptions) error {
 	_, err := m.Repo.Archive(opts)
 	return err
+}
+
+// GC reclaims unreferenced bytes from the PAS archive's segment files
+// (dlv gc).
+func (m *ModelHub) GC() (pas.GCStats, error) {
+	return m.Repo.GC()
+}
+
+// Repack rewrites the PAS archive into freshly packed segment files
+// (dlv repack).
+func (m *ModelHub) Repack() (pas.GCStats, error) {
+	return m.Repo.Repack()
 }
 
 // Publish uploads the repository to a hub server (dlv publish).

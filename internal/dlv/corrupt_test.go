@@ -55,22 +55,31 @@ func TestWeightsCorruptArchiveChunk(t *testing.T) {
 	if _, err := r.Archive(ArchiveOptions{Algorithm: "pas-mt", Alpha: 2}); err != nil {
 		t.Fatal(err)
 	}
-	chunks := filepath.Join(r.Root(), ".dlv", "pas", "chunks")
-	entries, err := os.ReadDir(chunks)
+	// Payload files of either layout: segment files (default) or legacy
+	// per-chunk files.
+	pasDir := filepath.Join(r.Root(), ".dlv", "pas")
+	files, err := filepath.Glob(filepath.Join(pasDir, "segments", "seg-*.seg"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(entries) == 0 {
-		t.Fatal("archive has no chunk files")
+	legacy, err := filepath.Glob(filepath.Join(pasDir, "chunks", "*"))
+	if err != nil {
+		t.Fatal(err)
 	}
-	// Flip a bit in every chunk so the snapshot's chain cannot avoid one.
-	for _, e := range entries {
-		path := filepath.Join(chunks, e.Name())
+	files = append(files, legacy...)
+	if len(files) == 0 {
+		t.Fatal("archive has no chunk payload files")
+	}
+	// Flip a bit in every byte of every payload file so the snapshot's
+	// chain cannot avoid a corrupted chunk, whichever records it reads.
+	for _, path := range files {
 		blob, err := os.ReadFile(path)
 		if err != nil {
 			t.Fatal(err)
 		}
-		blob[len(blob)/2] ^= 0x20
+		for i := range blob {
+			blob[i] ^= 0x20
+		}
 		if err := os.WriteFile(path, blob, 0o644); err != nil {
 			t.Fatal(err)
 		}

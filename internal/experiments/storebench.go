@@ -1,0 +1,189 @@
+package experiments
+
+// Storage-engine comparison: the legacy one-file-per-chunk PAS layout vs the
+// gen-2 packed-segment layout. Measures what the segment engine was built
+// for — cold-checkout latency, payload file opens (the syscall cost the
+// per-chunk layout pays), on-disk bytes after content-addressed dedup — on
+// one workload archived under both layouts, and cross-checks the two
+// checkouts bit-exactly. `make bench-store` records the result as
+// BENCH_store.json.
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"time"
+
+	"modelhub/internal/obs"
+	"modelhub/internal/pas"
+	"modelhub/internal/tensor"
+)
+
+// StoreBenchRow is one layout's measurement over the shared workload.
+type StoreBenchRow struct {
+	Layout       string
+	ColdCheckout time.Duration // avg per-snapshot full recreation, fresh store
+	FileOpens    int64         // payload file opens during the cold sweep
+	DiskBytes    int64         // payload bytes on disk (after dedup for segments)
+	StoredChunks int           // physically stored payloads (post-dedup)
+}
+
+// StoreBenchConfig sizes the workload: Frozen of the Matrices per snapshot
+// never change across snapshots (shared embedding layers — the dedup case),
+// the rest drift.
+type StoreBenchConfig struct {
+	Snapshots int
+	Matrices  int
+	Frozen    int
+	Rows      int
+	Cols      int
+	Seed      int64
+}
+
+func (c StoreBenchConfig) withDefaults() StoreBenchConfig {
+	if c.Snapshots == 0 {
+		c.Snapshots = 8
+	}
+	if c.Matrices == 0 {
+		c.Matrices = 6
+	}
+	if c.Frozen == 0 {
+		c.Frozen = 2
+	}
+	if c.Rows == 0 {
+		c.Rows = 40
+	}
+	if c.Cols == 0 {
+		c.Cols = 96
+	}
+	return c
+}
+
+// RunStoreBench archives the same checkpoint chain under both layouts and
+// measures a cold full-resolution checkout of every snapshot. Counters
+// require the obs registry, so it is enabled for the process. The two
+// layouts' checkouts are verified bit-equal; a mismatch fails the bench.
+func RunStoreBench(cfg StoreBenchConfig) ([]StoreBenchRow, error) {
+	cfg = cfg.withDefaults()
+	obs.Enable()
+	snaps := storeBenchSnaps(cfg)
+
+	var rows []StoreBenchRow
+	var truth map[string]map[string]*tensor.Matrix
+	for _, layout := range []string{pas.LayoutLegacy, pas.LayoutSegment} {
+		row, got, err := benchOneLayout(layout, snaps)
+		if err != nil {
+			return nil, fmt.Errorf("layout %s: %w", layout, err)
+		}
+		if truth == nil {
+			truth = got
+		} else {
+			for id, want := range truth {
+				for name, m := range want {
+					if !got[id][name].Equal(m) {
+						return nil, fmt.Errorf("layout %s: %s/%s differs from %s checkout", layout, id, name, rows[0].Layout)
+					}
+				}
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// storeBenchSnaps builds the drifting chain with frozen layers.
+func storeBenchSnaps(cfg StoreBenchConfig) []pas.SnapshotIn {
+	rng := rand.New(rand.NewSource(cfg.Seed + 67))
+	frozen := map[string]*tensor.Matrix{}
+	for m := 0; m < cfg.Frozen; m++ {
+		frozen[fmt.Sprintf("emb%02d", m)] = tensor.RandNormal(rng, cfg.Rows, cfg.Cols, 0.1)
+	}
+	drift := map[string]*tensor.Matrix{}
+	for m := cfg.Frozen; m < cfg.Matrices; m++ {
+		drift[fmt.Sprintf("head%02d", m)] = tensor.RandNormal(rng, cfg.Rows, cfg.Cols, 0.1)
+	}
+	var snaps []pas.SnapshotIn
+	for i := 0; i < cfg.Snapshots; i++ {
+		snap := pas.SnapshotIn{ID: fmt.Sprintf("s%02d", i), Matrices: map[string]*tensor.Matrix{}}
+		for name, m := range frozen {
+			snap.Matrices[name] = m
+		}
+		next := map[string]*tensor.Matrix{}
+		for name, m := range drift {
+			p := m.Perturb(rng, 1e-3)
+			snap.Matrices[name] = p
+			next[name] = p
+		}
+		drift = next
+		snaps = append(snaps, snap)
+	}
+	return snaps
+}
+
+// benchOneLayout archives snaps under one layout, reopens the store cold,
+// and sweeps every snapshot at full resolution, returning the measurement
+// row plus the checked-out matrices for cross-layout comparison.
+func benchOneLayout(layout string, snaps []pas.SnapshotIn) (row StoreBenchRow, got map[string]map[string]*tensor.Matrix, err error) {
+	dir, err := os.MkdirTemp("", "mh-storebench-*")
+	if err != nil {
+		return StoreBenchRow{}, nil, err
+	}
+	defer os.RemoveAll(dir)
+	st, err := pas.Create(dir, snaps, pas.Options{Algorithm: "mst", Layout: layout})
+	if err != nil {
+		return StoreBenchRow{}, nil, err
+	}
+	row = StoreBenchRow{Layout: layout, StoredChunks: st.StoredChunks()}
+	if layout == pas.LayoutSegment {
+		row.DiskBytes = st.SegmentDiskBytes()
+	} else {
+		row.DiskBytes = st.TotalChunkBytes(4)
+	}
+	if err := st.Close(); err != nil {
+		return StoreBenchRow{}, nil, err
+	}
+
+	// Reopen fresh so the sweep is cold: no plane caches, no segment file
+	// handles. KeepLegacy pins the legacy archive to its layout (Open would
+	// otherwise migrate it in place).
+	st, err = pas.OpenWith(dir, pas.OpenOptions{KeepLegacy: layout == pas.LayoutLegacy})
+	if err != nil {
+		return StoreBenchRow{}, nil, err
+	}
+	defer func() {
+		if cerr := st.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+
+	opens0 := payloadOpens()
+	start := time.Now()
+	got = map[string]map[string]*tensor.Matrix{}
+	for _, s := range snaps {
+		m, err := st.GetSnapshot(s.ID, 4, pas.Concurrent)
+		if err != nil {
+			return StoreBenchRow{}, nil, err
+		}
+		got[s.ID] = m
+	}
+	row.ColdCheckout = time.Since(start) / time.Duration(len(snaps))
+	row.FileOpens = payloadOpens() - opens0
+	return row, got, nil
+}
+
+// payloadOpens reads the global payload-open counters (both layouts' —
+// exactly one advances per sweep).
+func payloadOpens() int64 {
+	return obs.GetCounter("pas.chunk.opens").Value() + obs.GetCounter("pas.segment.opens").Value()
+}
+
+// PrintStoreBench renders the layout comparison.
+func PrintStoreBench(w io.Writer, rows []StoreBenchRow) {
+	fprintf(w, "Storage layouts: cold full checkout, payload file opens, disk bytes\n")
+	fprintf(w, "%-9s %14s %8s %12s %8s\n", "LAYOUT", "COLD/SNAP", "OPENS", "DISK B", "CHUNKS")
+	for _, r := range rows {
+		fprintf(w, "%-9s %14s %8d %12d %8d\n", r.Layout,
+			r.ColdCheckout.Round(time.Microsecond), r.FileOpens, r.DiskBytes, r.StoredChunks)
+	}
+}

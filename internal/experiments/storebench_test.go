@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"modelhub/internal/pas"
+)
+
+// The acceptance bar for the gen-2 storage engine: a cold full checkout
+// under the segment layout must issue strictly fewer payload file opens
+// than the one-file-per-chunk layout, store no more payloads (dedup), and
+// check out bit-identically (RunStoreBench cross-verifies internally).
+func TestStoreBenchSegmentBeatsLegacy(t *testing.T) {
+	rows, err := RunStoreBench(StoreBenchConfig{Snapshots: 6, Matrices: 5, Frozen: 2, Rows: 24, Cols: 48, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	byLayout := map[string]StoreBenchRow{}
+	for _, r := range rows {
+		byLayout[r.Layout] = r
+	}
+	legacy, seg := byLayout[pas.LayoutLegacy], byLayout[pas.LayoutSegment]
+	if legacy.Layout == "" || seg.Layout == "" {
+		t.Fatalf("missing a layout row: %+v", rows)
+	}
+	if seg.FileOpens >= legacy.FileOpens {
+		t.Fatalf("segment cold checkout opened %d files, legacy %d: want strictly fewer", seg.FileOpens, legacy.FileOpens)
+	}
+	if seg.FileOpens <= 0 || legacy.FileOpens <= 0 {
+		t.Fatalf("open counters did not advance (segment %d, legacy %d)", seg.FileOpens, legacy.FileOpens)
+	}
+	if seg.StoredChunks > legacy.StoredChunks {
+		t.Fatalf("segment stored %d chunks, legacy %d: dedup must not store more", seg.StoredChunks, legacy.StoredChunks)
+	}
+
+	var sb strings.Builder
+	PrintStoreBench(&sb, rows)
+	for _, want := range []string{pas.LayoutLegacy, pas.LayoutSegment, "OPENS"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("report missing %q:\n%s", want, sb.String())
+		}
+	}
+}

@@ -4,25 +4,28 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 )
 
-// chunkFiles lists every stored chunk file of an archive.
+// chunkFiles lists every file holding chunk payloads, for whichever layout
+// the archive uses: segment files under segments/, or per-chunk files under
+// chunks/. Sorted for determinism.
 func chunkFiles(t *testing.T, dir string) []string {
 	t.Helper()
-	entries, err := os.ReadDir(filepath.Join(dir, "chunks"))
+	out, err := filepath.Glob(filepath.Join(dir, "segments", "seg-*.seg"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	var out []string
-	for _, e := range entries {
-		if !e.IsDir() {
-			out = append(out, filepath.Join(dir, "chunks", e.Name()))
-		}
+	legacy, err := filepath.Glob(filepath.Join(dir, "chunks", "*"))
+	if err != nil {
+		t.Fatal(err)
 	}
+	out = append(out, legacy...)
+	sort.Strings(out)
 	if len(out) == 0 {
-		t.Fatal("archive has no chunk files")
+		t.Fatal("archive has no chunk payload files")
 	}
 	return out
 }
@@ -75,7 +78,10 @@ func TestGetSnapshotBitFlippedChunk(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		blob[len(blob)/2] ^= 0x40
+		// The last byte is always chunk payload under both layouts (a
+		// middle byte could land in a segment record header, which reads
+		// do not traverse).
+		blob[len(blob)-1] ^= 0x40
 		if err := os.WriteFile(path, blob, 0o644); err != nil {
 			t.Fatal(err)
 		}
@@ -115,7 +121,7 @@ func TestBitFlipReportsChecksumMismatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	blob[0] ^= 0x01
+	blob[len(blob)-1] ^= 0x01
 	if err := os.WriteFile(files[0], blob, 0o644); err != nil {
 		t.Fatal(err)
 	}

@@ -25,6 +25,19 @@ var (
 	// Fig. 8-10 byte savings, observable live.
 	mLowOrderBytesAvoided = obs.GetCounter("pas.progressive.low_order_bytes_avoided")
 
+	// Segment storage engine (gen 2, DESIGN.md §10). pas.chunk.opens
+	// counts per-file chunk opens on the legacy layout; pas.segment.opens
+	// counts segment file opens — the pair BENCH_store.json compares.
+	mChunkOpens         = obs.GetCounter("pas.chunk.opens")
+	mSegmentOpens       = obs.GetCounter("pas.segment.opens")
+	mSegmentDedupHits   = obs.GetCounter("pas.segment.dedup_hits")
+	mSegmentDedupBytes  = obs.GetCounter("pas.segment.dedup_bytes_saved")
+	mSegmentMigrations  = obs.GetCounter("pas.segment.migrations")
+	mSegmentGCRuns      = obs.GetCounter("pas.segment.gc_runs")
+	mSegmentGCReclaimed = obs.GetCounter("pas.segment.gc_reclaimed_bytes")
+	gSegmentCount       = obs.GetGauge("pas.segment.count")
+	gSegmentDiskBytes   = obs.GetGauge("pas.segment.disk_bytes")
+
 	// Snapshot retrievals per scheme, and their latency.
 	mRetrievalSeconds = obs.GetHistogram("pas.retrieval.seconds")
 	mRetrievalScheme  = [...]*obs.Counter{

@@ -1,0 +1,61 @@
+package pas
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+// FuzzSegmentIndex fuzzes the two parsers that consume untrusted on-disk
+// segment metadata: the segment-record scanner (the index rebuild path) and
+// the JSON index parser. Neither may panic, and every rejection must be the
+// typed ErrStore (wired into make fuzz-smoke).
+func FuzzSegmentIndex(f *testing.F) {
+	// A well-formed single-record segment file.
+	payload := []byte("0123456789abcdef")
+	sum := sha256.Sum256(payload)
+	var rec []byte
+	rec = append(rec, segMagic...)
+	var hdr [segRecordOverhead]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	copy(hdr[4:], sum[:])
+	rec = append(rec, hdr[:]...)
+	rec = append(rec, payload...)
+	f.Add(rec)
+	f.Add([]byte(segMagic))
+	f.Add([]byte("PASSEG2\nshort"))
+	f.Add([]byte(`{"version":1,"next_seg":1,"segments":[{"name":"seg-000000.seg","size":100}],"chunks":{}}`))
+	f.Add([]byte(`{"version":1,"segments":[],"chunks":{"00":{"seg":9,"off":-1,"len":0}}}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if recs, err := scanSegmentRecords(data); err != nil {
+			if !errors.Is(err, ErrStore) {
+				t.Fatalf("scan error %v is not ErrStore", err)
+			}
+		} else {
+			// Accepted records must lie inside the input.
+			for _, r := range recs {
+				if r.Len <= 0 || r.Off < int64(len(segMagic)) || r.Off+r.Len > int64(len(data)) {
+					t.Fatalf("scan accepted out-of-bounds record %+v", r)
+				}
+				if len(r.Sum) != 2*sha256.Size {
+					t.Fatalf("scan produced bad sum %q", r.Sum)
+				}
+			}
+		}
+		if idx, err := parseSegIndex(data); err != nil {
+			if !errors.Is(err, ErrStore) {
+				t.Fatalf("index parse error %v is not ErrStore", err)
+			}
+		} else {
+			// Accepted locations must be in bounds of their segments.
+			for sum, loc := range idx.Chunks {
+				if loc.Seg < 0 || loc.Seg >= len(idx.Segments) ||
+					loc.Len <= 0 || loc.Off+loc.Len > idx.Segments[loc.Seg].Size {
+					t.Fatalf("index accepted out-of-bounds chunk %s: %+v", sum, loc)
+				}
+			}
+		}
+	})
+}

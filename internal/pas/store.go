@@ -69,6 +69,11 @@ type Options struct {
 	// compressible high planes ride delta chains while near-random low
 	// planes can materialize for cheap recreation. Requires XOR deltas.
 	PlaneGranularity bool
+	// Layout selects the on-disk archive layout: LayoutSegment (packed
+	// segment files with content-addressed dedup, the default) or
+	// LayoutLegacy (one file per chunk). Empty means DefaultLayout(), which
+	// honors the MODELHUB_PAS_LAYOUT environment variable.
+	Layout string
 	// Remote, when non-nil, adds a second storage option per candidate edge
 	// modelling a remote/cold tier: cheaper to keep, slower to read (paper
 	// Sec. IV-C: "one edge corresponding to a remote storage option, where
@@ -173,8 +178,13 @@ type planeKey struct {
 
 // Store is an opened parameter archive.
 type Store struct {
-	dir string
-	man manifest
+	dir    string
+	man    manifest
+	layout int
+
+	// seg serves chunk payloads under the segment layout (manifest
+	// Version 2); unused for legacy archives.
+	seg segReader
 
 	mu        sync.Mutex
 	cache     map[planeKey]*[4][]byte // (node, prefix) -> byte planes (reusable scheme)
@@ -390,23 +400,13 @@ func Create(dir string, snaps []SnapshotIn, opts Options) (*Store, error) {
 		return nil, err
 	}
 
-	// Write chunks for the chosen plan, clearing any previous archive in
-	// the directory first (stale chunks from an earlier plan would
-	// otherwise linger unreferenced).
-	for _, sub := range []string{"chunks", "remote"} {
-		if err := os.RemoveAll(filepath.Join(dir, sub)); err != nil {
-			return nil, fmt.Errorf("%w: clearing old archive: %v", ErrStore, err)
-		}
+	layout, err := resolveLayout(opts.Layout)
+	if err != nil {
+		return nil, err
 	}
-	chunkDir := filepath.Join(dir, "chunks")
-	if err := os.MkdirAll(chunkDir, 0o755); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrStore, err)
-	}
-	if opts.Remote != nil {
-		if err := os.MkdirAll(filepath.Join(dir, "remote"), 0o755); err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrStore, err)
-		}
-	}
+
+	// Deflate the chosen plan's chunk payloads and build the manifest; the
+	// layout dispatch below decides where the payload bytes land.
 	man := manifest{
 		Version:     1,
 		DeltaOp:     uint8(opts.DeltaOp),
@@ -417,6 +417,12 @@ func Create(dir string, snaps []SnapshotIn, opts Options) (*Store, error) {
 		SPTCost:     spt.StorageCost(),
 		Feasible:    feasible,
 	}
+	type chunkOut struct {
+		node, plane, tier int
+		sum               string
+		data              []byte
+	}
+	var chunks []chunkOut
 	for id := 1; id < len(cand.refs); id++ {
 		eid := plan.ParentEdge[id]
 		body := payloads[eid]
@@ -440,9 +446,8 @@ func Create(dir string, snaps []SnapshotIn, opts Options) (*Store, error) {
 			sum := sha256.Sum256(z)
 			mn.PlaneSum[p] = hex.EncodeToString(sum[:])
 			mn.PlaneBytes[p] = len(z)
-			if err := os.WriteFile(chunkPath(dir, id, p, mn.Tier), z, 0o644); err != nil {
-				return nil, fmt.Errorf("%w: writing chunk: %v", ErrStore, err)
-			}
+			chunks = append(chunks, chunkOut{node: id, plane: p, tier: mn.Tier,
+				sum: mn.PlaneSum[p], data: z})
 		}
 		man.Nodes = append(man.Nodes, mn)
 	}
@@ -454,14 +459,88 @@ func Create(dir string, snaps []SnapshotIn, opts Options) (*Store, error) {
 			Recreation: plan.SnapshotCost(si, opts.Scheme),
 		})
 	}
-	blob, err := json.MarshalIndent(&man, "", " ")
-	if err != nil {
+
+	switch layout {
+	case layoutLegacy:
+		// One file per chunk, clearing any previous archive first (stale
+		// chunks from an earlier plan would otherwise linger unreferenced).
+		for _, sub := range []string{"chunks", "remote", segmentsDir} {
+			if err := os.RemoveAll(filepath.Join(dir, sub)); err != nil {
+				return nil, fmt.Errorf("%w: clearing old archive: %v", ErrStore, err)
+			}
+		}
+		if err := os.MkdirAll(filepath.Join(dir, "chunks"), 0o755); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrStore, err)
+		}
+		if opts.Remote != nil {
+			if err := os.MkdirAll(filepath.Join(dir, "remote"), 0o755); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrStore, err)
+			}
+		}
+		for _, c := range chunks {
+			if err := writeFileAtomic(chunkPath(dir, c.node, c.plane, c.tier), c.data); err != nil {
+				return nil, fmt.Errorf("%w: writing chunk: %v", ErrStore, err)
+			}
+		}
+	case layoutSegment:
+		// Payloads pack into segment files, deduplicated content-addressed
+		// against anything already stored in the directory: re-archiving
+		// appends only payloads the index has never seen, and the displaced
+		// older ones become garbage for the next GC.
+		for _, sub := range []string{"chunks", "remote"} {
+			if err := os.RemoveAll(filepath.Join(dir, sub)); err != nil {
+				return nil, fmt.Errorf("%w: clearing old archive: %v", ErrStore, err)
+			}
+		}
+		if err := os.MkdirAll(filepath.Join(dir, segmentsDir), 0o755); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrStore, err)
+		}
+		idx := loadOrInitSegIndex(dir)
+		seen := make(map[string]bool, len(chunks))
+		var fresh []segPayload
+		for _, c := range chunks {
+			if _, ok := idx.Chunks[c.sum]; ok || seen[c.sum] {
+				mSegmentDedupHits.Inc()
+				mSegmentDedupBytes.Add(int64(len(c.data)))
+				continue
+			}
+			seen[c.sum] = true
+			fresh = append(fresh, segPayload{sum: c.sum, data: c.data})
+		}
+		infos, locs, err := writeSegments(dir, idx, fresh)
+		if err != nil {
+			return nil, fmt.Errorf("%w: writing segments: %v", ErrStore, err)
+		}
+		base := len(idx.Segments)
+		idx.Segments = append(idx.Segments, infos...)
+		for sum, loc := range locs {
+			loc.Seg += base
+			idx.Chunks[sum] = loc
+		}
+		if err := saveSegIndex(dir, idx); err != nil {
+			return nil, err
+		}
+		man.Version = 2
+	}
+	if err := writeManifest(dir, &man); err != nil {
 		return nil, err
 	}
-	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), blob, 0o644); err != nil {
-		return nil, fmt.Errorf("%w: writing manifest: %v", ErrStore, err)
+	// KeepLegacy: a deliberately legacy-layout archive must not migrate
+	// right back on this open.
+	return OpenWith(dir, OpenOptions{KeepLegacy: layout == layoutLegacy})
+}
+
+// writeManifest persists the manifest atomically (temp + fsync + rename +
+// parent dir fsync) — the commit point of Create and of legacy migration.
+func writeManifest(dir string, man *manifest) error {
+	blob, err := json.MarshalIndent(man, "", " ")
+	if err != nil {
+		return err
 	}
-	return Open(dir)
+	if err := writeFileAtomic(filepath.Join(dir, "manifest.json"), blob); err != nil {
+		return fmt.Errorf("%w: writing manifest: %v", ErrStore, err)
+	}
+	return nil
 }
 
 func solve(g *Graph, opts Options) (*Plan, bool, error) {
@@ -518,8 +597,22 @@ func solve(g *Graph, opts Options) (*Plan, bool, error) {
 	}
 }
 
-// Open loads an existing archive.
+// Open loads an existing archive. Version-1 (one file per chunk) archives
+// migrate in place to the segment layout unless MODELHUB_PAS_LAYOUT selects
+// the legacy layout.
 func Open(dir string) (*Store, error) {
+	return OpenWith(dir, OpenOptions{})
+}
+
+// OpenOptions control Open behavior for tests and tooling.
+type OpenOptions struct {
+	// KeepLegacy opens a Version-1 per-chunk archive as-is instead of
+	// migrating it to the segment layout.
+	KeepLegacy bool
+}
+
+// OpenWith is Open with explicit control over legacy migration.
+func OpenWith(dir string, o OpenOptions) (*Store, error) {
 	blob, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrStore, err)
@@ -528,16 +621,41 @@ func Open(dir string) (*Store, error) {
 	if err := json.Unmarshal(blob, &man); err != nil {
 		return nil, fmt.Errorf("%w: manifest: %v", ErrStore, err)
 	}
-	if man.Version != 1 {
+	switch man.Version {
+	case 1:
+		if o.KeepLegacy || DefaultLayout() == LayoutLegacy {
+			return newStore(dir, &man, layoutLegacy), nil
+		}
+		if err := migrateLegacy(dir, &man); err != nil {
+			return nil, err
+		}
+	case 2:
+		reconcileSegmentDir(dir)
+	default:
 		return nil, fmt.Errorf("%w: unsupported manifest version %d", ErrStore, man.Version)
 	}
-	s := &Store{dir: dir, man: man, cache: make(map[planeKey]*[4][]byte),
-		fullCache: make(map[int]*tensor.Matrix), byRef: make(map[MatrixRef][]int),
-		eng: newEngine()}
+	idx, err := loadSegIndex(dir)
+	if err != nil {
+		return nil, err
+	}
+	s := newStore(dir, &man, layoutSegment)
+	s.seg.idx = idx
+	noteSegmentGauges(idx)
+	return s, nil
+}
+
+func newStore(dir string, man *manifest, layout int) *Store {
+	s := &Store{dir: dir, man: *man, layout: layout,
+		cache:     make(map[planeKey]*[4][]byte),
+		fullCache: make(map[int]*tensor.Matrix),
+		byRef:     make(map[MatrixRef][]int),
+		eng:       newEngine()}
+	s.seg.dir = dir
+	s.seg.files = make(map[string]*os.File)
 	for _, n := range man.Nodes {
 		s.byRef[n.Ref] = append(s.byRef[n.Ref], n.ID)
 	}
-	return s, nil
+	return s
 }
 
 func chunkPath(dir string, node, plane, tier int) string {
@@ -611,9 +729,19 @@ func nodePlanes(n *manifestNode) (int, int) {
 	return n.PlaneStart, n.PlaneEnd
 }
 
+// readChunk fetches the compressed payload of one stored plane from
+// whichever layout the archive uses; readPlane verifies it.
+func (s *Store) readChunk(n *manifestNode, p int) ([]byte, error) {
+	if s.layout == layoutSegment {
+		return s.seg.read(n.PlaneSum[p])
+	}
+	mChunkOpens.Inc()
+	return os.ReadFile(chunkPath(s.dir, n.ID, p, n.Tier))
+}
+
 // readPlane loads, verifies and inflates one stored byte plane of a node.
 func (s *Store) readPlane(n *manifestNode, p int) ([]byte, error) {
-	z, err := os.ReadFile(chunkPath(s.dir, n.ID, p, n.Tier))
+	z, err := s.readChunk(n, p)
 	if err != nil {
 		return nil, fmt.Errorf("%w: reading chunk for node %d plane %d: %v", ErrStore, n.ID, p, err)
 	}

@@ -198,16 +198,14 @@ func TestStoreCorruptChunkDetected(t *testing.T) {
 	if _, err := Create(dir, snaps, Options{}); err != nil {
 		t.Fatal(err)
 	}
-	// Flip a byte in some chunk.
-	matches, err := filepath.Glob(filepath.Join(dir, "chunks", "*.p0"))
-	if err != nil || len(matches) == 0 {
-		t.Fatalf("no chunks found: %v", err)
-	}
+	// Flip a payload byte in some chunk file (layout-agnostic: the last
+	// byte of a payload file is chunk data under both layouts).
+	matches := chunkFiles(t, dir)
 	blob, err := os.ReadFile(matches[0])
 	if err != nil {
 		t.Fatal(err)
 	}
-	blob[len(blob)/2] ^= 0xff
+	blob[len(blob)-1] ^= 0xff
 	if err := os.WriteFile(matches[0], blob, 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -447,10 +445,13 @@ func TestStoreConcurrentRetrieval(t *testing.T) {
 	wg.Wait()
 }
 
+// TestCreateClearsStaleChunks pins the legacy layout: per-chunk files are
+// deleted eagerly on re-archive. The segment layout instead keeps displaced
+// payloads as garbage until GC (TestCreateSegmentKeepsGarbageUntilGC).
 func TestCreateClearsStaleChunks(t *testing.T) {
 	snaps := makeSnaps(60, 4, 0)
 	dir := t.TempDir()
-	if _, err := Create(dir, snaps, Options{Algorithm: "spt"}); err != nil {
+	if _, err := Create(dir, snaps, Options{Algorithm: "spt", Layout: LayoutLegacy}); err != nil {
 		t.Fatal(err)
 	}
 	big, err := filepath.Glob(filepath.Join(dir, "chunks", "*"))
@@ -458,7 +459,7 @@ func TestCreateClearsStaleChunks(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Re-archive just the first two snapshots: old chunks must be gone.
-	st, err := Create(dir, snaps[:2], Options{Algorithm: "mst"})
+	st, err := Create(dir, snaps[:2], Options{Algorithm: "mst", Layout: LayoutLegacy})
 	if err != nil {
 		t.Fatal(err)
 	}
