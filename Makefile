@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: build vet fmt-check lint test test-race test-layouts fuzz-smoke obs-smoke bench bench-train bench-store check help
+.PHONY: build vet fmt-check lint test test-race test-layouts test-scaling fuzz-smoke obs-smoke bench bench-train bench-store bench-scaling check help
 
 build:
 	$(GO) build ./...
@@ -55,11 +55,28 @@ bench-train:
 bench-store:
 	$(GO) run ./cmd/mhbench -exp storebench -store-json BENCH_store.json
 
+# Multicore scaling sweep: GOMAXPROCS x workers over GEMM, conv passes, full
+# training steps (scratch arena on/off), and concurrent DQL evaluate. Writes
+# BENCH_scaling.json with a hardware-metadata block.
+bench-scaling:
+	$(GO) run ./cmd/mhbench -exp scaling -scaling-json BENCH_scaling.json
+
 # The PAS/DLV suites against both on-disk layouts, like the CI matrix. The
 # env var pins what Create uses and whether Open migrates legacy archives.
 test-layouts:
 	MODELHUB_PAS_LAYOUT=legacy $(GO) test ./internal/pas/ ./internal/dlv/
 	MODELHUB_PAS_LAYOUT=segment $(GO) test ./internal/pas/ ./internal/dlv/
+
+# The compute-core suites under a GOMAXPROCS matrix with the race detector,
+# like the CI compute-scaling job: the determinism contract (bit-identical
+# results at any worker count) must hold at every proc count.
+# -count=1 defeats the test cache: GOMAXPROCS is read by the runtime, not
+# through os.Getenv in test code, so cached results would not re-run.
+test-scaling:
+	for procs in 1 2 4; do \
+		echo "== GOMAXPROCS=$$procs =="; \
+		GOMAXPROCS=$$procs $(GO) test -race -count=1 ./internal/tensor/ ./internal/dnn/ ./internal/dql/ || exit 1; \
+	done
 
 check: build vet fmt-check lint test test-race
 
@@ -75,5 +92,7 @@ help:
 	@echo "bench       - run all benchmarks once"
 	@echo "bench-train - training-substrate kernel benchmarks"
 	@echo "bench-store - legacy vs segment storage layout comparison (BENCH_store.json)"
+	@echo "bench-scaling - GOMAXPROCS x workers compute sweep (BENCH_scaling.json)"
 	@echo "test-layouts - pas/dlv tests against both storage layouts"
+	@echo "test-scaling - tensor/dnn/dql suites with -race under GOMAXPROCS 1/2/4"
 	@echo "check       - build + vet + fmt-check + lint + test + test-race"

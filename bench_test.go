@@ -650,7 +650,7 @@ func BenchmarkEvaluateGrid(b *testing.B) {
 		workers int
 	}{{"seq", 1}, {"par", 0}} {
 		b.Run(cfg.name, func(b *testing.B) {
-			eng.Workers = cfg.workers
+			eng.SetWorkers(cfg.workers)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := eng.Run(query); err != nil {

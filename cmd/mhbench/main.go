@@ -17,8 +17,6 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"runtime"
-	"time"
 
 	"modelhub/internal/experiments"
 	"modelhub/internal/obs"
@@ -26,11 +24,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all tab1 fig6a fig6b fig6c fig6d tab4 tab5 retrieval training scale ablations storebench")
+	exp := flag.String("exp", "all", "experiment: all tab1 fig6a fig6b fig6c fig6d tab4 tab5 retrieval training scale scaling ablations storebench")
 	scale := flag.Int("scale", 1, "workload scale multiplier for synthetic experiments")
 	seed := flag.Int64("seed", 1, "random seed")
 	metricsFile := flag.String("metrics", "", "enable the obs registry and write its JSON snapshot to this file on exit")
 	storeJSON := flag.String("store-json", "", "write the storebench layout comparison to this JSON file")
+	scalingJSON := flag.String("scaling-json", "", "write the multicore scaling sweep to this JSON file")
 	flag.Parse()
 
 	if *metricsFile != "" {
@@ -201,6 +200,23 @@ func main() {
 		return nil
 	})
 
+	run("scaling", func() error {
+		rows, err := experiments.RunScaling(experiments.ScalingConfig{
+			Scale: *scale, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+		experiments.PrintScaling(os.Stdout, rows)
+		if *scalingJSON != "" {
+			if err := experiments.WriteScalingJSON(*scalingJSON, rows, experiments.RunMeta()); err != nil {
+				return err
+			}
+			fmt.Printf("wrote scaling sweep to %s\n", *scalingJSON)
+		}
+		return nil
+	})
+
 	run("ablations", func() error {
 		budget, err := experiments.RunAblationBudgetSplit(*seed, nil)
 		if err != nil {
@@ -242,8 +258,7 @@ func writeStoreBench(path string, rows []experiments.StoreBenchRow) error {
 	}
 	doc := map[string]any{
 		"description": "PAS storage layouts on one drifting checkpoint chain with frozen layers (mhbench -exp storebench): cold full-resolution checkout of every snapshot on a freshly opened store. payload_file_opens counts pas.chunk.opens (legacy, one file per chunk) vs pas.segment.opens (gen-2 packed segments); the segment layout must open strictly fewer files and, with content-addressed dedup, store no more payload bytes.",
-		"machine":     fmt.Sprintf("%s/%s, %s", runtime.GOOS, runtime.GOARCH, runtime.Version()),
-		"date":        time.Now().Format("2006-01-02"),
+		"meta":        experiments.RunMeta(),
 		"benchmarks":  benchmarks,
 	}
 	blob, err := json.MarshalIndent(doc, "", "  ")
@@ -254,13 +269,22 @@ func writeStoreBench(path string, rows []experiments.StoreBenchRow) error {
 }
 
 // writeMetrics dumps the obs registry snapshot collected across the run —
-// the live counterpart of the BENCH_*.json result files.
+// the live counterpart of the BENCH_*.json result files — wrapped with the
+// hardware metadata every mhbench JSON output carries.
 func writeMetrics(path string) {
 	blob, err := obs.SnapshotJSON()
 	if err != nil {
 		log.Fatalf("mhbench: snapshotting metrics: %v", err)
 	}
-	if err := os.WriteFile(path, blob, 0o644); err != nil {
+	doc := map[string]any{
+		"meta":    experiments.RunMeta(),
+		"metrics": json.RawMessage(blob),
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		log.Fatalf("mhbench: encoding metrics: %v", err)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
 		log.Fatalf("mhbench: writing %s: %v", path, err)
 	}
 	fmt.Printf("wrote metrics snapshot to %s\n", path)

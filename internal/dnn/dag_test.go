@@ -65,7 +65,9 @@ func TestDAGForwardAddSemantics(t *testing.T) {
 	for i := range want.Data {
 		want.Data[i] = conv1.Data[i] + relu.Data[i]
 	}
-	ip := n.layers["ip"].Forward(want)
+	// Clone: layer outputs alias reusable scratch that the full forward pass
+	// below overwrites.
+	ip := n.layers["ip"].Forward(want).Clone()
 
 	got := n.Forward(in)
 	for i := range ip.Data {
@@ -88,7 +90,9 @@ func TestDAGForwardConcatSemantics(t *testing.T) {
 	merged := NewVolume(Shape{C: 5, H: 6, W: 6})
 	copy(merged.Data, a.Data)
 	copy(merged.Data[a.Shape.Size():], b.Data)
-	want := n.layers["ip"].Forward(merged)
+	// Clone: layer outputs alias reusable scratch that the full forward pass
+	// below overwrites.
+	want := n.layers["ip"].Forward(merged).Clone()
 
 	got := n.Forward(in)
 	for i := range want.Data {

@@ -27,8 +27,14 @@ const (
 var convKernel atomic.Int32
 
 // SetConvKernel selects the convolution kernel for subsequently executed
-// forward/backward passes and returns the previous selection.
+// forward/backward passes and returns the previous selection. Values that
+// name no kernel (negative, or beyond the defined constants) clamp to the
+// default ConvIm2col rather than leaving passes on an undefined path. Safe
+// for concurrent callers.
 func SetConvKernel(k ConvKernel) ConvKernel {
+	if k != ConvIm2col && k != ConvNaive {
+		k = ConvIm2col
+	}
 	return ConvKernel(convKernel.Swap(int32(k)))
 }
 

@@ -21,6 +21,9 @@ type runtimeLayer interface {
 	Weights() *tensor.Matrix
 	// Grad returns the accumulated weight gradient, or nil.
 	Grad() *tensor.Matrix
+	// release returns the layer's scratch buffers (activations, gradient
+	// volumes, im2col unrolls) to the shared arena pool; see scratch.go.
+	release()
 }
 
 // buildLayer constructs the runtime layer for a spec at a given input shape.
@@ -75,6 +78,7 @@ func (b *layerBase) InShape() Shape          { return b.in }
 func (b *layerBase) OutShape() Shape         { return b.out }
 func (b *layerBase) Weights() *tensor.Matrix { return nil }
 func (b *layerBase) Grad() *tensor.Matrix    { return nil }
+func (b *layerBase) release()                {}
 
 // ---------- convolution ----------
 
@@ -90,10 +94,22 @@ type convLayer struct {
 	// Backward consumes it, so the forward pass's unroll doubles as the dW
 	// operand for free.
 	cols, dcols *tensor.Matrix
+	// outBuf/dInBuf are the layer's persistent activation and input-gradient
+	// volumes (scratch.go); dInBuf is a col2im scatter-add target and is
+	// zeroed on reuse.
+	outBuf, dInBuf *Volume
 }
 
 func (l *convLayer) Weights() *tensor.Matrix { return l.w }
 func (l *convLayer) Grad() *tensor.Matrix    { return l.g }
+
+func (l *convLayer) release() {
+	releaseMatrix(&l.cols)
+	releaseMatrix(&l.dcols)
+	releaseVolume(&l.outBuf)
+	releaseVolume(&l.dInBuf)
+	l.lastIn = nil
+}
 
 func (l *convLayer) Forward(in *Volume) *Volume {
 	if ActiveConvKernel() == ConvNaive {
@@ -103,11 +119,10 @@ func (l *convLayer) Forward(in *Volume) *Volume {
 	k, pad := l.spec.K, l.spec.Pad
 	kk := l.in.C * k * k   // contraction depth (weight columns sans bias)
 	n := l.out.H * l.out.W // output pixels
-	if l.cols == nil {
-		l.cols = tensor.NewMatrix(kk, n)
-	}
-	im2col(in, l.cols, k, l.stride, pad, l.out.H, l.out.W)
-	out := NewVolume(l.out)
+	cols := scratchMatrix(&l.cols, kk, n)
+	im2col(in, cols, k, l.stride, pad, l.out.H, l.out.W)
+	// Bias seed below writes every output element, so no zero-on-reuse.
+	out := scratchVolume(&l.outBuf, l.out, false)
 	// Seed each output row with its bias, then accumulate W·cols on top:
 	// per-element summation order (bias first, then k ascending) matches the
 	// naive kernel bit-for-bit.
@@ -119,7 +134,7 @@ func (l *convLayer) Forward(in *Volume) *Volume {
 			row[j] = b
 		}
 	}
-	tensor.GemmStrided(l.out.C, n, kk, l.w.Data(), l.w.Cols(), l.cols.Data(), n, out.Data, n, true)
+	tensor.GemmStrided(l.out.C, n, kk, l.w.Data(), l.w.Cols(), cols.Data(), n, out.Data, n, true)
 	return out
 }
 
@@ -141,18 +156,17 @@ func (l *convLayer) Backward(dOut *Volume) *Volume {
 		l.g.Row(oc)[biasCol] += s
 	}
 	// dIn = col2im(Wᵀ · dOut).
-	if l.dcols == nil {
-		l.dcols = tensor.NewMatrix(kk, n)
-	}
-	tensor.GemmTNStrided(kk, n, l.out.C, l.w.Data(), l.w.Cols(), dOut.Data, n, l.dcols.Data(), n, false)
-	dIn := NewVolume(l.in)
-	col2im(l.dcols, dIn, k, l.stride, pad, l.out.H, l.out.W)
+	dcols := scratchMatrix(&l.dcols, kk, n)
+	tensor.GemmTNStrided(kk, n, l.out.C, l.w.Data(), l.w.Cols(), dOut.Data, n, dcols.Data(), n, false)
+	dIn := scratchVolume(&l.dInBuf, l.in, true) // col2im scatter-adds
+	col2im(dcols, dIn, k, l.stride, pad, l.out.H, l.out.W)
 	return dIn
 }
 
 func (l *convLayer) forwardNaive(in *Volume) *Volume {
 	l.lastIn = in
-	out := NewVolume(l.out)
+	// Every output element is assigned below, so no zero-on-reuse.
+	out := scratchVolume(&l.outBuf, l.out, false)
 	k, pad := l.spec.K, l.spec.Pad
 	biasCol := l.w.Cols() - 1
 	for oc := 0; oc < l.out.C; oc++ {
@@ -184,7 +198,7 @@ func (l *convLayer) forwardNaive(in *Volume) *Volume {
 
 func (l *convLayer) backwardNaive(dOut *Volume) *Volume {
 	in := l.lastIn
-	dIn := NewVolume(l.in)
+	dIn := scratchVolume(&l.dInBuf, l.in, true) // scatter-add target
 	k, pad := l.spec.K, l.spec.Pad
 	biasCol := l.w.Cols() - 1
 	for oc := 0; oc < l.out.C; oc++ {
@@ -224,18 +238,31 @@ func (l *convLayer) backwardNaive(dOut *Volume) *Volume {
 
 type poolLayer struct {
 	layerBase
-	stride int
-	argmax []int // for MAX: input index chosen per output element
-	lastIn *Volume
+	stride         int
+	argmax         []int // for MAX: input index chosen per output element
+	lastIn         *Volume
+	outBuf, dInBuf *Volume
+}
+
+func (l *poolLayer) release() {
+	releaseVolume(&l.outBuf)
+	releaseVolume(&l.dInBuf)
+	l.argmax = nil
+	l.lastIn = nil
 }
 
 func (l *poolLayer) Forward(in *Volume) *Volume {
 	l.lastIn = in
-	out := NewVolume(l.out)
+	// Every output element (and argmax entry) is assigned below.
+	out := scratchVolume(&l.outBuf, l.out, false)
 	k := l.spec.K
 	isMax := l.spec.Mode == PoolMax
 	if isMax {
-		l.argmax = make([]int, l.out.Size())
+		if sz := l.out.Size(); ScratchPooling() && cap(l.argmax) >= sz {
+			l.argmax = l.argmax[:sz]
+		} else {
+			l.argmax = make([]int, sz)
+		}
 	}
 	oi := 0
 	for c := 0; c < l.out.C; c++ {
@@ -289,7 +316,7 @@ func (l *poolLayer) Forward(in *Volume) *Volume {
 }
 
 func (l *poolLayer) Backward(dOut *Volume) *Volume {
-	dIn := NewVolume(l.in)
+	dIn := scratchVolume(&l.dInBuf, l.in, true) // scatter-add target
 	k := l.spec.K
 	if l.spec.Mode == PoolMax {
 		for oi, idx := range l.argmax {
@@ -339,16 +366,24 @@ func (l *poolLayer) Backward(dOut *Volume) *Volume {
 
 type fullLayer struct {
 	layerBase
-	w, g   *tensor.Matrix
-	lastIn *Volume
+	w, g           *tensor.Matrix
+	lastIn         *Volume
+	outBuf, dInBuf *Volume
 }
 
 func (l *fullLayer) Weights() *tensor.Matrix { return l.w }
 func (l *fullLayer) Grad() *tensor.Matrix    { return l.g }
 
+func (l *fullLayer) release() {
+	releaseVolume(&l.outBuf)
+	releaseVolume(&l.dInBuf)
+	l.lastIn = nil
+}
+
 func (l *fullLayer) Forward(in *Volume) *Volume {
 	l.lastIn = in
-	out := NewVolume(l.out)
+	// Bias seed writes every output element before the accumulating GEMM.
+	out := scratchVolume(&l.outBuf, l.out, false)
 	biasCol := l.w.Cols() - 1
 	nIn := len(in.Data)
 	// Seed with biases, then one matrix-vector GEMM: summation order (bias
@@ -362,7 +397,8 @@ func (l *fullLayer) Forward(in *Volume) *Volume {
 
 func (l *fullLayer) Backward(dOut *Volume) *Volume {
 	in := l.lastIn
-	dIn := NewVolume(l.in)
+	dIn := scratchVolume(&l.dInBuf, l.in, true) // AddScaled accumulates
+
 	biasCol := l.w.Cols() - 1
 	nIn := len(in.Data)
 	for o := 0; o < l.out.C; o++ {
@@ -380,16 +416,27 @@ func (l *fullLayer) Backward(dOut *Volume) *Volume {
 
 type actLayer struct {
 	layerBase
-	lastOut *Volume
+	lastOut        *Volume
+	outBuf, dInBuf *Volume
+}
+
+func (l *actLayer) release() {
+	releaseVolume(&l.outBuf)
+	releaseVolume(&l.dInBuf)
+	l.lastOut = nil
 }
 
 func (l *actLayer) Forward(in *Volume) *Volume {
-	out := NewVolume(l.out)
+	// Each branch assigns every element (ReLU writes explicit zeros), so the
+	// reused buffer needs no clearing.
+	out := scratchVolume(&l.outBuf, l.out, false)
 	switch l.spec.Kind {
 	case KindReLU:
 		for i, v := range in.Data {
 			if v > 0 {
 				out.Data[i] = v
+			} else {
+				out.Data[i] = 0
 			}
 		}
 	case KindSigmoid:
@@ -406,13 +453,15 @@ func (l *actLayer) Forward(in *Volume) *Volume {
 }
 
 func (l *actLayer) Backward(dOut *Volume) *Volume {
-	dIn := NewVolume(l.in)
+	dIn := scratchVolume(&l.dInBuf, l.in, false) // every element assigned
 	out := l.lastOut
 	switch l.spec.Kind {
 	case KindReLU:
 		for i, v := range out.Data {
 			if v > 0 {
 				dIn.Data[i] = dOut.Data[i]
+			} else {
+				dIn.Data[i] = 0
 			}
 		}
 	case KindSigmoid:
@@ -431,13 +480,19 @@ func (l *actLayer) Backward(dOut *Volume) *Volume {
 
 type softmaxLayer struct {
 	layerBase
-	lastOut *Volume
+	lastOut        *Volume
+	outBuf, dInBuf *Volume
 }
 
-// Softmax computes the softmax of logits into a new slice, with the usual
-// max-subtraction for numerical stability.
-func Softmax(logits []float32) []float32 {
-	out := make([]float32, len(logits))
+func (l *softmaxLayer) release() {
+	releaseVolume(&l.outBuf)
+	releaseVolume(&l.dInBuf)
+	l.lastOut = nil
+}
+
+// softmaxInto writes the softmax of logits into dst (len(dst) must equal
+// len(logits)), with the usual max-subtraction for numerical stability.
+func softmaxInto(dst, logits []float32) {
 	mx := float32(math.Inf(-1))
 	for _, v := range logits {
 		if v > mx {
@@ -447,17 +502,24 @@ func Softmax(logits []float32) []float32 {
 	var sum float64
 	for i, v := range logits {
 		e := math.Exp(float64(v - mx))
-		out[i] = float32(e)
+		dst[i] = float32(e)
 		sum += e
 	}
-	for i := range out {
-		out[i] = float32(float64(out[i]) / sum)
+	for i := range dst {
+		dst[i] = float32(float64(dst[i]) / sum)
 	}
+}
+
+// Softmax computes the softmax of logits into a new slice.
+func Softmax(logits []float32) []float32 {
+	out := make([]float32, len(logits))
+	softmaxInto(out, logits)
 	return out
 }
 
 func (l *softmaxLayer) Forward(in *Volume) *Volume {
-	out := &Volume{Shape: l.out, Data: Softmax(in.Data)}
+	out := scratchVolume(&l.outBuf, l.out, false) // softmaxInto assigns all
+	softmaxInto(out.Data, in.Data)
 	l.lastOut = out
 	return out
 }
@@ -469,7 +531,7 @@ func (l *softmaxLayer) Backward(dOut *Volume) *Volume {
 	for j, d := range dOut.Data {
 		dot += float64(d) * float64(s[j])
 	}
-	dIn := NewVolume(l.in)
+	dIn := scratchVolume(&l.dInBuf, l.in, false) // every element assigned
 	for i := range dIn.Data {
 		dIn.Data[i] = s[i] * (dOut.Data[i] - float32(dot))
 	}

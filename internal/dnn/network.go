@@ -29,6 +29,14 @@ type Network struct {
 	// fwd caches node outputs of the latest forward pass for gradient
 	// routing through merge nodes.
 	fwd map[string]*Volume
+	// Persistent scratch (scratch.go): merge-node input volumes, backward
+	// gradient accumulators keyed by node, the fused-loss logits gradient,
+	// and the softmax probability buffer. ReleaseScratch returns them all to
+	// the shared arena pool.
+	mergeBuf map[string]*Volume
+	bwdBuf   map[string]*Volume
+	gradBuf  *Volume
+	probs    []float32
 }
 
 // Build constructs a runtime network for def, initializing all weights with
@@ -51,6 +59,8 @@ func Build(def *NetDef, rng *rand.Rand) (*Network, error) {
 		inShape:  map[string]Shape{},
 		outShape: map[string]Shape{},
 		fwd:      map[string]*Volume{},
+		mergeBuf: map[string]*Volume{},
+		bwdBuf:   map[string]*Volume{},
 	}
 	for _, l := range def.Nodes {
 		n.specs[l.Name] = l
@@ -159,15 +169,18 @@ func (n *Network) nodeInput(name string, in *Volume) *Volume {
 	case len(preds) == 1:
 		return n.fwd[preds[0]]
 	case n.specs[name].Kind == KindAdd:
-		out := NewVolume(n.inShape[name])
-		for _, p := range preds {
+		// Copy the first predecessor, then add the rest: identical sums to
+		// zero-then-accumulate, with no zero-on-reuse needed.
+		out := scratchMapVolume(n.mergeBuf, name, n.inShape[name], false)
+		copy(out.Data, n.fwd[preds[0]].Data)
+		for _, p := range preds[1:] {
 			for i, v := range n.fwd[p].Data {
 				out.Data[i] += v
 			}
 		}
 		return out
-	default: // concat
-		out := NewVolume(n.inShape[name])
+	default: // concat — predecessor spans cover the whole buffer
+		out := scratchMapVolume(n.mergeBuf, name, n.inShape[name], false)
 		off := 0
 		for _, p := range preds {
 			copy(out.Data[off:], n.fwd[p].Data)
@@ -193,9 +206,12 @@ func (n *Network) forwardUpTo(in *Volume, stop string) *Volume {
 	return n.fwd[n.sink]
 }
 
-// Forward runs the full DAG on an input volume and returns the output.
+// Forward runs the full DAG on an input volume and returns the output. The
+// returned volume is the caller's: it is a copy of the (small) sink
+// activation, detached from the network's internal scratch buffers, so it
+// survives subsequent passes.
 func (n *Network) Forward(in *Volume) *Volume {
-	return n.forwardUpTo(in, n.sink)
+	return n.forwardUpTo(in, n.sink).Clone()
 }
 
 // logitsNode is where the fused softmax-cross-entropy loss attaches: the
@@ -210,14 +226,15 @@ func (n *Network) logitsNode() string {
 }
 
 // Logits runs the DAG but stops before a trailing softmax layer, returning
-// raw scores — what the fused softmax-cross-entropy loss consumes.
+// raw scores — what the fused softmax-cross-entropy loss consumes. Like
+// Forward, the returned volume is a caller-owned copy.
 func (n *Network) Logits(in *Volume) *Volume {
-	return n.forwardUpTo(in, n.logitsNode())
+	return n.forwardUpTo(in, n.logitsNode()).Clone()
 }
 
 // Predict returns the argmax label for an input.
 func (n *Network) Predict(in *Volume) int {
-	out := n.Forward(in)
+	out := n.forwardUpTo(in, n.sink) // argmax only — no copy needed
 	best, bi := float32(math.Inf(-1)), 0
 	for i, v := range out.Data {
 		if v > best {
@@ -255,7 +272,16 @@ func (n *Network) PredictBatch(ins []*Volume) []int {
 func (n *Network) LossAndBackward(in *Volume, label int) (loss float64, correct bool) {
 	logitsNode := n.logitsNode()
 	logits := n.forwardUpTo(in, logitsNode)
-	probs := Softmax(logits.Data)
+	var probs []float32
+	if ScratchPooling() {
+		if cap(n.probs) < len(logits.Data) {
+			n.probs = make([]float32, len(logits.Data))
+		}
+		probs = n.probs[:len(logits.Data)]
+		softmaxInto(probs, logits.Data)
+	} else {
+		probs = Softmax(logits.Data)
+	}
 	loss = -math.Log(math.Max(float64(probs[label]), 1e-12))
 	best, bi := float32(math.Inf(-1)), 0
 	for i, v := range probs {
@@ -265,7 +291,7 @@ func (n *Network) LossAndBackward(in *Volume, label int) (loss float64, correct 
 	}
 	correct = bi == label
 	// Fused softmax + CE gradient: dLogits = probs - onehot(label).
-	grad := NewVolume(logits.Shape)
+	grad := scratchVolume(&n.gradBuf, logits.Shape, false) // copy assigns all
 	copy(grad.Data, probs)
 	grad.Data[label] -= 1
 
@@ -295,16 +321,16 @@ func (n *Network) LossAndBackward(in *Volume, label int) (loss float64, correct 
 		case len(preds) == 0:
 			// Source: gradient w.r.t. the input is dropped.
 		case len(preds) == 1:
-			accumulate(dOut, preds[0], n.outShape[preds[0]], dIn.Data)
+			n.accumulate(dOut, preds[0], n.outShape[preds[0]], dIn.Data)
 		case n.specs[name].Kind == KindAdd:
 			for _, p := range preds {
-				accumulate(dOut, p, n.outShape[p], dIn.Data)
+				n.accumulate(dOut, p, n.outShape[p], dIn.Data)
 			}
 		default: // concat: split by predecessor channel spans
 			off := 0
 			for _, p := range preds {
 				size := n.outShape[p].Size()
-				accumulate(dOut, p, n.outShape[p], dIn.Data[off:off+size])
+				n.accumulate(dOut, p, n.outShape[p], dIn.Data[off:off+size])
 				off += size
 			}
 		}
@@ -312,15 +338,42 @@ func (n *Network) LossAndBackward(in *Volume, label int) (loss float64, correct 
 	return loss, correct
 }
 
-// accumulate adds grad into the dOut buffer of node name.
-func accumulate(dOut map[string]*Volume, name string, shape Shape, grad []float32) {
+// accumulate adds grad into the dOut buffer of node name, acquiring the
+// node's persistent accumulator (zeroed on first touch of the pass) when the
+// routing map has no entry yet.
+func (n *Network) accumulate(dOut map[string]*Volume, name string, shape Shape, grad []float32) {
 	buf, ok := dOut[name]
 	if !ok {
-		buf = NewVolume(shape)
+		buf = scratchMapVolume(n.bwdBuf, name, shape, true)
 		dOut[name] = buf
 	}
 	for i, v := range grad {
 		buf.Data[i] += v
+	}
+}
+
+// ReleaseScratch returns all of the network's scratch buffers — layer
+// activations, gradient volumes, im2col unrolls, merge and accumulator
+// buffers — to the shared arena pool and drops the forward cache. Call it
+// when retiring a network other workers may build successors of (e.g. a DQL
+// candidate after its grid cell finishes); the network remains fully usable,
+// it simply re-acquires scratch on the next pass.
+func (n *Network) ReleaseScratch() {
+	for _, l := range n.layerList {
+		l.release()
+	}
+	for name, v := range n.mergeBuf {
+		putFloats(v.Data)
+		delete(n.mergeBuf, name)
+	}
+	for name, v := range n.bwdBuf {
+		putFloats(v.Data)
+		delete(n.bwdBuf, name)
+	}
+	releaseVolume(&n.gradBuf)
+	n.probs = nil
+	for name := range n.fwd {
+		delete(n.fwd, name)
 	}
 }
 

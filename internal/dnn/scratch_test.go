@@ -1,0 +1,186 @@
+package dnn
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// trainSnapshot trains a fresh lenet on a fixed toy stream and returns the
+// final weights — the bit-identity probe for the pooling chicken-bit.
+func trainSnapshot(t *testing.T) map[string][]float32 {
+	t.Helper()
+	n, err := Build(lenetDef(), rand.New(rand.NewSource(41)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	sgd := &SGD{LR: 0.05}
+	for step := 0; step < 12; step++ {
+		n.ZeroGrads()
+		for b := 0; b < 4; b++ {
+			in := randVolume(rng, Shape{C: 1, H: 12, W: 12})
+			n.LossAndBackward(in, rng.Intn(10))
+		}
+		sgd.Step(n, 4)
+	}
+	out := map[string][]float32{}
+	for name, w := range n.Params() {
+		out[name] = append([]float32(nil), w.Data()...)
+	}
+	return out
+}
+
+// TestScratchPoolingBitIdentical: pooling moves buffers, never math — full
+// training runs with the arena on and off must produce bit-identical
+// weights.
+func TestScratchPoolingBitIdentical(t *testing.T) {
+	prev := SetScratchPooling(true)
+	defer SetScratchPooling(prev)
+	pooled := trainSnapshot(t)
+	SetScratchPooling(false)
+	fresh := trainSnapshot(t)
+	for name, want := range fresh {
+		got := pooled[name]
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("layer %q weight %d: pooled %v != unpooled %v", name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestScratchPoolingCutsAllocs: steady-state training steps with the arena
+// on must allocate far less than with it off — the point of the arena.
+func TestScratchPoolingCutsAllocs(t *testing.T) {
+	n, err := Build(lenetDef(), rand.New(rand.NewSource(43)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := randVolume(rand.New(rand.NewSource(44)), Shape{C: 1, H: 12, W: 12})
+	step := func() { n.LossAndBackward(in, 3) }
+
+	prev := SetScratchPooling(true)
+	defer SetScratchPooling(prev)
+	step() // warm the persistent buffers
+	pooled := testing.AllocsPerRun(20, step)
+	SetScratchPooling(false)
+	fresh := testing.AllocsPerRun(20, step)
+	if pooled > fresh/4 {
+		t.Fatalf("pooled steady state allocates %.0f/op vs %.0f/op unpooled — arena not engaging", pooled, fresh)
+	}
+}
+
+// TestReleaseScratchKeepsNetworkUsable: releasing scratch hands buffers back
+// to the pool but the network must keep producing identical outputs.
+func TestReleaseScratchKeepsNetworkUsable(t *testing.T) {
+	n, err := Build(lenetDef(), rand.New(rand.NewSource(45)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := randVolume(rand.New(rand.NewSource(46)), Shape{C: 1, H: 12, W: 12})
+	before := n.Forward(in)
+	n.ReleaseScratch()
+	after := n.Forward(in)
+	for i := range before.Data {
+		if before.Data[i] != after.Data[i] {
+			t.Fatalf("output %d changed across ReleaseScratch: %v vs %v", i, before.Data[i], after.Data[i])
+		}
+	}
+	n.ZeroGrads()
+	n.LossAndBackward(in, 1) // must not panic on re-acquired buffers
+}
+
+// TestSetConvKernelClamp: out-of-range selections clamp to the im2col
+// default instead of leaving passes on an undefined path.
+func TestSetConvKernelClamp(t *testing.T) {
+	prev := SetConvKernel(ConvIm2col)
+	defer SetConvKernel(prev)
+	SetConvKernel(ConvKernel(-3))
+	if got := ActiveConvKernel(); got != ConvIm2col {
+		t.Fatalf("negative kernel selection landed on %d, want ConvIm2col", got)
+	}
+	SetConvKernel(ConvKernel(99))
+	if got := ActiveConvKernel(); got != ConvIm2col {
+		t.Fatalf("out-of-range kernel selection landed on %d, want ConvIm2col", got)
+	}
+	if prevSel := SetConvKernel(ConvNaive); prevSel != ConvIm2col {
+		t.Fatalf("previous selection = %d, want ConvIm2col", prevSel)
+	}
+	if got := ActiveConvKernel(); got != ConvNaive {
+		t.Fatalf("ConvNaive selection landed on %d", got)
+	}
+}
+
+// TestSetConvKernelConcurrent hammers the kernel selector from many
+// goroutines (with garbage values mixed in) while networks run passes —
+// under -race this asserts the knob is safe mid-flight, and every observed
+// selection must be a defined kernel.
+func TestSetConvKernelConcurrent(t *testing.T) {
+	prev := SetConvKernel(ConvIm2col)
+	defer SetConvKernel(prev)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			vals := []ConvKernel{ConvIm2col, ConvNaive, ConvKernel(-1), ConvKernel(7)}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				SetConvKernel(vals[(g+i)%len(vals)])
+				if k := ActiveConvKernel(); k != ConvIm2col && k != ConvNaive {
+					t.Errorf("observed undefined kernel %d", k)
+					return
+				}
+			}
+		}(g)
+	}
+	n, err := Build(lenetDef(), rand.New(rand.NewSource(47)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := randVolume(rand.New(rand.NewSource(48)), Shape{C: 1, H: 12, W: 12})
+	for i := 0; i < 10; i++ {
+		n.ZeroGrads()
+		n.LossAndBackward(in, i%10)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestScratchSizeClasses pins the arena's size-class rules: requests round
+// up to a power-of-two capacity, returned arenas are recycled, and
+// odd-capacity slices are dropped rather than pooled.
+func TestScratchSizeClasses(t *testing.T) {
+	s := getFloats(100)
+	if len(s) != 100 || cap(s) != 128 {
+		t.Fatalf("getFloats(100): len %d cap %d, want 100/128", len(s), cap(s))
+	}
+	for i := range s {
+		s[i] = 7
+	}
+	putFloats(s)
+	s2 := getFloats(90)
+	if cap(s2) != 128 {
+		t.Fatalf("recycled cap = %d, want 128", cap(s2))
+	}
+	for i, v := range s2 {
+		if v != 0 {
+			t.Fatalf("recycled slice not zeroed at %d: %v", i, v)
+		}
+	}
+	// Odd capacities (pooling-off allocations) must be dropped, not pooled.
+	putFloats(make([]float32, 100))
+	// Oversized requests fall through to plain make.
+	huge := getFloats((1 << scratchMaxBits) + 1)
+	if len(huge) != (1<<scratchMaxBits)+1 {
+		t.Fatalf("oversized request len = %d", len(huge))
+	}
+	putFloats(huge)
+}

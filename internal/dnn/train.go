@@ -222,6 +222,7 @@ func EvaluateParallel(n *Network, examples []Example, workers int) (float64, err
 				errs[w] = err
 				return
 			}
+			defer clone.ReleaseScratch() // hand shard scratch back to the arena
 			for _, ex := range examples[start:end] {
 				if clone.Predict(ex.Input) == ex.Label {
 					correct[w]++

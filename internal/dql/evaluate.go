@@ -104,7 +104,7 @@ func (e *Engine) execEvaluate(s *EvaluateStmt) ([]Candidate, error) {
 		}
 	}
 	results := make([]Candidate, len(jobs))
-	workers := e.Workers
+	workers := e.Workers()
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -275,6 +275,10 @@ func (e *Engine) trainCandidate(def *dnn.NetDef, cfg EvalConfig, iters int) (Can
 	if err != nil {
 		return Candidate{}, fmt.Errorf("%w: building %s: %v", ErrQuery, def.Name, err)
 	}
+	// The candidate network dies with this grid cell; hand its scratch
+	// (im2col unrolls, activation volumes) back to the shared arena so
+	// concurrent sessions recycle rather than reallocate.
+	defer net.ReleaseScratch()
 	layerLR, err := resolveNetLR(def, cfg.NetLR)
 	if err != nil {
 		return Candidate{}, err

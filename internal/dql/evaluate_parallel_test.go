@@ -20,7 +20,7 @@ const gridQuery = `evaluate m
 // the same keep-clause survivors in the same order.
 func TestEvaluateParallelBitIdentical(t *testing.T) {
 	_, eng := populated(t)
-	eng.Workers = 1
+	eng.SetWorkers(1)
 	seq, err := eng.Run(gridQuery)
 	if err != nil {
 		t.Fatal(err)
@@ -29,7 +29,7 @@ func TestEvaluateParallelBitIdentical(t *testing.T) {
 		t.Fatalf("sequential candidates = %d", len(seq.Candidates))
 	}
 	for _, workers := range []int{2, 4, 8} {
-		eng.Workers = workers
+		eng.SetWorkers(workers)
 		par, err := eng.Run(gridQuery)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
@@ -62,7 +62,7 @@ func TestEvaluateParallelBitIdentical(t *testing.T) {
 // error, not hang or panic, under parallel execution.
 func TestEvaluateParallelFirstErrorWins(t *testing.T) {
 	_, eng := populated(t)
-	eng.Workers = 4
+	eng.SetWorkers(4)
 	_, err := eng.Run(`evaluate m
 		from (select m1 where m1.name = "lenet")
 		vary config.base_lr in [0.1, 0.01, 0.001] and config.input_data in ["nope"]
@@ -77,7 +77,7 @@ func TestEvaluateParallelFirstErrorWins(t *testing.T) {
 // test (run under -race via make test-race).
 func TestEvaluateParallelWithConcurrentGemm(t *testing.T) {
 	_, eng := populated(t)
-	eng.Workers = 4
+	eng.SetWorkers(4)
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
 	rng := rand.New(rand.NewSource(13))
@@ -116,5 +116,78 @@ func TestEvaluateParallelWithConcurrentGemm(t *testing.T) {
 	}
 	if len(res.Candidates) != 2 {
 		t.Fatalf("candidates = %d", len(res.Candidates))
+	}
+}
+
+// TestSetWorkersClamp pins the documented clamp rules: negatives restore the
+// GOMAXPROCS default (stored as 0), values above 1024 clamp to 1024, and the
+// previous setting is returned.
+func TestSetWorkersClamp(t *testing.T) {
+	eng := NewEngine(nil)
+	if got := eng.SetWorkers(-7); got != 0 {
+		t.Fatalf("initial setting = %d, want 0", got)
+	}
+	if got := eng.Workers(); got != 0 {
+		t.Fatalf("negative clamps to %d, want 0 (GOMAXPROCS default)", got)
+	}
+	eng.SetWorkers(1 << 20)
+	if got := eng.Workers(); got != 1024 {
+		t.Fatalf("absurd setting clamps to %d, want 1024", got)
+	}
+	if got := eng.SetWorkers(2); got != 1024 {
+		t.Fatalf("previous setting = %d, want 1024", got)
+	}
+	if got := eng.Workers(); got != 2 {
+		t.Fatalf("Workers = %d, want 2", got)
+	}
+}
+
+// TestSetWorkersConcurrent retunes the worker bound from several goroutines
+// while an evaluate statement runs — under -race this asserts the knob is
+// safe mid-flight, and the grid result must stay bit-identical to the
+// sequential baseline regardless of what the tuners did.
+func TestSetWorkersConcurrent(t *testing.T) {
+	_, eng := populated(t)
+	eng.SetWorkers(1)
+	seq, err := eng.Run(gridQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				eng.SetWorkers((g+i)%6 - 1) // sweeps -1..4 through the clamp
+				if w := eng.Workers(); w < 0 || w > 1024 {
+					t.Errorf("Workers out of range: %d", w)
+					return
+				}
+			}
+		}(g)
+	}
+	eng.SetWorkers(4)
+	par, err := eng.Run(gridQuery)
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par.Candidates) != len(seq.Candidates) {
+		t.Fatalf("candidates = %d, want %d", len(par.Candidates), len(seq.Candidates))
+	}
+	for i, c := range par.Candidates {
+		s := seq.Candidates[i]
+		if math.Float64bits(c.Loss) != math.Float64bits(s.Loss) ||
+			math.Float64bits(c.Acc) != math.Float64bits(s.Acc) {
+			t.Fatalf("candidate %d diverged under concurrent retuning", i)
+		}
 	}
 }

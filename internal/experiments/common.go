@@ -12,12 +12,39 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"runtime"
+	"time"
 
 	"modelhub/internal/data"
 	"modelhub/internal/dnn"
 	"modelhub/internal/tensor"
 	"modelhub/internal/zoo"
 )
+
+// Meta identifies the hardware and runtime a benchmark result came from.
+// Every BENCH_*.json file mhbench writes embeds one, so numbers are
+// attributable: a scaling curve measured on a 1-vCPU container and one from
+// a 16-core workstation are different claims and must say so.
+type Meta struct {
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+	OS         string `json:"os"`
+	Arch       string `json:"arch"`
+	Timestamp  string `json:"timestamp"`
+}
+
+// RunMeta captures the current process's hardware/runtime identity.
+func RunMeta() Meta {
+	return Meta{
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		OS:         runtime.GOOS,
+		Arch:       runtime.GOARCH,
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+	}
+}
 
 // TrainedModel is a shared fixture: an architecture trained on the digit
 // task with its held-out test set.

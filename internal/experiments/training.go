@@ -113,7 +113,7 @@ func RunTraining(cfg TrainingConfig) ([]TrainingRow, error) {
 
 	run := func(kernel dnn.ConvKernel, workers int) ([]dql.Candidate, time.Duration, error) {
 		dnn.SetConvKernel(kernel)
-		eng.Workers = workers
+		eng.SetWorkers(workers)
 		start := time.Now()
 		res, err := eng.Run(query)
 		if err != nil {

@@ -15,17 +15,44 @@ import (
 // bit-identical to the reference triple loop (MatMulRef) regardless of
 // blocking or worker count — parallelism only partitions output rows, never
 // a single element's reduction.
+//
+// Parallel dispatch is a work-stealing chunk queue on a shared persistent
+// worker pool: output rows are cut into fine-grained chunks sized by a flop
+// target, and every participant (the caller plus pool workers) claims the
+// next unstarted chunk off an atomic counter until the queue drains. Fast
+// workers therefore steal work a static band split would have stranded on
+// slow or preempted ones. Cache-blocking depth (the k panel) is autotuned
+// from the multiply's column width against an L2 budget instead of a fixed
+// constant; SetGemmKC pins it for experiments.
 
 const (
-	// gemmKC is the k-blocking depth: a KC-row panel of B (KC * n floats)
-	// stays resident in cache while a band of C rows streams over it.
-	gemmKC = 240
+	// gemmL2Bytes is the per-core L2 budget the k-panel autotuner targets.
+	// Typical x86 cores have 256KB-1.25MB private L2; the conservative end
+	// keeps the streamed B panel resident even on small parts, and larger
+	// caches simply see more reuse.
+	gemmL2Bytes = 256 << 10
+	// gemmKCMin/Max clamp the autotuned k-blocking depth: below 64 the
+	// per-panel loop overhead dominates, above 1024 the panel thrashes L1
+	// evictions for no additional reuse.
+	gemmKCMin = 64
+	gemmKCMax = 1024
 	// gemmParallelMin is the flop floor (m*n*k) below which dispatching to
 	// the worker pool costs more than the multiply.
 	gemmParallelMin = 32 * 1024
-	// gemmBandsPerWorker oversubscribes row bands so the atomic-counter
-	// work-stealing loop balances uneven bands.
-	gemmBandsPerWorker = 4
+	// gemmChunkFlops is the work-stealing granularity target: each claimed
+	// chunk carries at least this many flops so the claim's atomic increment
+	// and cache handoff are amortized.
+	gemmChunkFlops = 96 * 1024
+	// gemmChunksPerWorker bounds how fine chunking may get: at most this
+	// many chunks per worker, so tiny multiplies are not shredded into
+	// claim-counter contention.
+	gemmChunksPerWorker = 8
+	// gemmMaxWorkers is the clamp ceiling for SetGemmWorkers — beyond it the
+	// claim counter and memory bandwidth are the bottleneck, not cores.
+	gemmMaxWorkers = 256
+	// gemmMaxPoolWorkers caps the persistent pool; dispatches wanting more
+	// helpers than this spawn the difference as fresh goroutines.
+	gemmMaxPoolWorkers = 64
 )
 
 // gemmWorkerOverride holds the package-level worker override; <= 0 means use
@@ -33,77 +60,134 @@ const (
 var gemmWorkerOverride atomic.Int32
 
 // SetGemmWorkers overrides the number of workers GEMM dispatches to and
-// returns the previous override. n <= 0 restores the GOMAXPROCS-derived
-// default. Safe to call concurrently with running kernels (they snapshot the
-// setting at dispatch).
+// returns the previous override. Values clamp to a documented rule rather
+// than silently misbehaving: n <= 0 restores the GOMAXPROCS-derived default,
+// and n > 256 (gemmMaxWorkers) clamps to 256. Safe to call concurrently with
+// running kernels (they snapshot the setting at dispatch).
 func SetGemmWorkers(n int) int {
 	if n < 0 {
 		n = 0
+	}
+	if n > gemmMaxWorkers {
+		n = gemmMaxWorkers
 	}
 	return int(gemmWorkerOverride.Swap(int32(n)))
 }
 
 // GemmWorkers returns the effective worker count: the override if set,
-// otherwise GOMAXPROCS.
+// otherwise GOMAXPROCS (clamped to the same 256 ceiling as SetGemmWorkers).
 func GemmWorkers() int {
-	if v := gemmWorkerOverride.Load(); v > 0 {
+	v := int(gemmWorkerOverride.Load())
+	if v <= 0 {
+		v = runtime.GOMAXPROCS(0)
+	}
+	if v > gemmMaxWorkers {
+		v = gemmMaxWorkers
+	}
+	return v
+}
+
+// gemmKCOverride pins the k-blocking depth for experiments; 0 = autotune.
+var gemmKCOverride atomic.Int32
+
+// SetGemmKC pins the k-blocking depth (panel height) and returns the
+// previous override. kc <= 0 restores autotuning; kc > 1024 clamps to 1024.
+// Blocking depth never changes results — each element's k-summation stays in
+// ascending order across panel boundaries — so this is purely a performance
+// knob.
+func SetGemmKC(kc int) int {
+	if kc < 0 {
+		kc = 0
+	}
+	if kc > gemmKCMax {
+		kc = gemmKCMax
+	}
+	return int(gemmKCOverride.Swap(int32(kc)))
+}
+
+// gemmKCFor autotunes the k-blocking depth for an n-column multiply: the
+// streamed B panel (kc × n float32) targets half the per-core L2 budget so
+// it stays resident while a band of C rows streams over it. Narrow outputs
+// get deeper panels, wide ones shallower, clamped to [64, 1024].
+func gemmKCFor(n int) int {
+	if v := gemmKCOverride.Load(); v > 0 {
 		return int(v)
 	}
-	return runtime.GOMAXPROCS(0)
+	kc := gemmL2Bytes / 2 / 4 / n
+	if kc < gemmKCMin {
+		kc = gemmKCMin
+	}
+	if kc > gemmKCMax {
+		kc = gemmKCMax
+	}
+	return kc
 }
 
-// gemmPool is the shared worker pool all GEMM calls dispatch row bands to.
-// Workers are started lazily on the first parallel kernel; tasks that cannot
-// be enqueued without blocking (pool saturated by nested parallelism, e.g.
-// concurrent DQL candidates each running GEMMs) fall back to fresh
-// goroutines so dispatch never deadlocks.
+// gemmPool is the shared persistent worker pool all GEMM dispatches hand
+// chunks to. It starts lazily on the first parallel kernel and grows on
+// demand up to gemmMaxPoolWorkers when GOMAXPROCS (or the override) rises —
+// workers are never torn down. Tasks that cannot be enqueued without
+// blocking (queue saturated by nested parallelism, e.g. concurrent DQL
+// candidates each running GEMMs) fall back to fresh goroutines so dispatch
+// never deadlocks.
 var gemmPool struct {
-	once  sync.Once
-	tasks chan func()
+	once    sync.Once
+	mu      sync.Mutex // serializes growth
+	started atomic.Int32
+	tasks   chan func()
 }
 
-func gemmPoolStart() {
-	size := runtime.GOMAXPROCS(0)
-	if size < 2 {
-		size = 2 // keep the concurrent path exercised on single-CPU hosts
+// gemmPoolEnsure grows the pool to at least `want` workers (capped at
+// gemmMaxPoolWorkers).
+func gemmPoolEnsure(want int) {
+	if want > gemmMaxPoolWorkers {
+		want = gemmMaxPoolWorkers
 	}
-	if size > 16 {
-		size = 16
+	if int(gemmPool.started.Load()) >= want {
+		return
 	}
-	gemmPool.tasks = make(chan func(), size)
-	for i := 0; i < size; i++ {
+	gemmPool.once.Do(func() { gemmPool.tasks = make(chan func(), gemmMaxPoolWorkers) })
+	gemmPool.mu.Lock()
+	for int(gemmPool.started.Load()) < want {
+		gemmPool.started.Add(1)
 		go func() {
 			for f := range gemmPool.tasks {
 				f()
 			}
 		}()
 	}
+	gemmPool.mu.Unlock()
+	gGemmPoolWorkers.Set(int64(gemmPool.started.Load()))
 }
 
-// parallelBands runs body(0..bands-1) across the caller plus workers-1 pool
-// goroutines, with band indices handed out by an atomic counter (work
-// stealing: fast workers drain the remaining bands).
-func parallelBands(bands, workers int, body func(band int)) {
-	if workers > bands {
-		workers = bands
-	}
-	if workers <= 1 {
-		for i := 0; i < bands; i++ {
-			body(i)
-		}
-		return
-	}
-	gemmPool.once.Do(gemmPoolStart)
-	var next atomic.Int64
-	var wg sync.WaitGroup
+// runChunks executes body(0..chunks-1) across the caller plus workers-1
+// helpers, with chunk indices handed out by an atomic claim counter — the
+// work-stealing queue. Helpers come from the persistent pool when its queue
+// has room and are spawned fresh otherwise.
+func runChunks(chunks, workers int, body func(chunk int)) {
+	gemmPoolEnsure(workers - 1)
+	var (
+		next    atomic.Int64
+		stolen  atomic.Int64
+		spawned int64
+		wg      sync.WaitGroup
+	)
+	// fair is the even-split share; anything a participant claims beyond it
+	// was stolen from a slower participant.
+	fair := (chunks + workers - 1) / workers
 	run := func() {
 		defer wg.Done()
+		claimed := 0
 		for {
 			i := int(next.Add(1)) - 1
-			if i >= bands {
-				return
+			if i >= chunks {
+				break
 			}
 			body(i)
+			claimed++
+		}
+		if claimed > fair {
+			stolen.Add(int64(claimed - fair))
 		}
 	}
 	wg.Add(workers)
@@ -111,11 +195,66 @@ func parallelBands(bands, workers int, body func(band int)) {
 		select {
 		case gemmPool.tasks <- run:
 		default:
+			spawned++
 			go run()
 		}
 	}
 	run() // the caller participates as the last worker
 	wg.Wait()
+	mGemmDispatchParallel.Inc()
+	mGemmChunks.Add(int64(chunks))
+	if s := stolen.Load(); s > 0 {
+		mGemmChunksStolen.Add(s)
+	}
+	if spawned > 0 {
+		mGemmSpawnFallback.Add(spawned)
+	}
+}
+
+// chunkRows picks the work-stealing granularity: rows per chunk such that a
+// chunk carries at least gemmChunkFlops of work, bounded below so no more
+// than workers*gemmChunksPerWorker chunks exist.
+func chunkRows(m, n, k, workers int) int {
+	rowFlops := n * k
+	rows := (gemmChunkFlops + rowFlops - 1) / rowFlops
+	if maxChunks := workers * gemmChunksPerWorker; maxChunks > 0 {
+		if minRows := (m + maxChunks - 1) / maxChunks; rows < minRows {
+			rows = minRows
+		}
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	return rows
+}
+
+// dispatchRows cuts rows [0, m) into claim-counter chunks and runs them on
+// the shared pool when the multiply is large enough to amortize dispatch.
+func dispatchRows(m, n, k int, body func(i0, i1 int)) {
+	workers := GemmWorkers()
+	if workers <= 1 || m == 1 || m*n*k < gemmParallelMin {
+		mGemmDispatchInline.Inc()
+		body(0, m)
+		return
+	}
+	rows := chunkRows(m, n, k, workers)
+	chunks := (m + rows - 1) / rows
+	if workers > chunks {
+		workers = chunks
+	}
+	if workers <= 1 {
+		mGemmDispatchInline.Inc()
+		body(0, m)
+		return
+	}
+	runChunks(chunks, workers, func(chunk int) {
+		i0 := chunk * rows
+		i1 := i0 + rows
+		if i1 > m {
+			i1 = m
+		}
+		body(i0, i1)
+	})
 }
 
 // AddScaled computes dst[i] += alpha * x[i] (axpy). It panics if the slices
@@ -153,8 +292,9 @@ func GemmStrided(m, n, k int, a []float32, lda int, b []float32, ldb int, c []fl
 	if k <= 0 {
 		return
 	}
+	kc := gemmKCFor(n)
 	dispatchRows(m, n, k, func(i0, i1 int) {
-		gemmBandN(i0, i1, n, k, a, lda, b, ldb, c, ldc)
+		gemmBandN(i0, i1, n, k, kc, a, lda, b, ldb, c, ldc)
 	})
 }
 
@@ -178,6 +318,7 @@ func GemmTNStrided(m, n, k int, a []float32, lda int, b []float32, ldb int, c []
 	if k <= 0 {
 		return
 	}
+	kc := gemmKCFor(n)
 	if n >= 4 && m*n*k >= 4*m*k { // packing cost m*k is negligible vs m*n*k
 		bufp := packPool.Get().(*[]float32)
 		buf := *bufp
@@ -187,14 +328,14 @@ func GemmTNStrided(m, n, k int, a []float32, lda int, b []float32, ldb int, c []
 		buf = buf[:m*k]
 		transposeBlocked(k, m, a, lda, buf, k)
 		dispatchRows(m, n, k, func(i0, i1 int) {
-			gemmBandN(i0, i1, n, k, buf, k, b, ldb, c, ldc)
+			gemmBandN(i0, i1, n, k, kc, buf, k, b, ldb, c, ldc)
 		})
 		*bufp = buf
 		packPool.Put(bufp)
 		return
 	}
 	dispatchRows(m, n, k, func(i0, i1 int) {
-		gemmBandTN(i0, i1, n, k, a, lda, b, ldb, c, ldc)
+		gemmBandTN(i0, i1, n, k, kc, a, lda, b, ldb, c, ldc)
 	})
 }
 
@@ -227,34 +368,10 @@ func GemmNTStrided(m, n, k int, a []float32, lda int, b []float32, ldb int, c []
 	})
 }
 
-// dispatchRows splits rows [0, m) into bands and runs them on the shared
-// pool when the multiply is large enough to amortize dispatch.
-func dispatchRows(m, n, k int, body func(i0, i1 int)) {
-	workers := GemmWorkers()
-	if workers <= 1 || m*n*k < gemmParallelMin || m == 1 {
-		body(0, m)
-		return
-	}
-	bands := workers * gemmBandsPerWorker
-	if bands > m {
-		bands = m
-	}
-	size := (m + bands - 1) / bands
-	bands = (m + size - 1) / size
-	parallelBands(bands, workers, func(band int) {
-		i0 := band * size
-		i1 := i0 + size
-		if i1 > m {
-			i1 = m
-		}
-		body(i0, i1)
-	})
-}
-
 // gemmBandN is the serial N/N inner kernel over C rows [i0, i1): k-blocked
-// with two-row register tiling, so each KC-row panel of B is streamed once
-// for two output rows.
-func gemmBandN(i0, i1, n, k int, a []float32, lda int, b []float32, ldb int, c []float32, ldc int) {
+// into kc-deep panels with two-row register tiling, so each panel of B is
+// streamed once for two output rows.
+func gemmBandN(i0, i1, n, k, kc int, a []float32, lda int, b []float32, ldb int, c []float32, ldc int) {
 	if n == 1 {
 		// Matrix-vector: each output element is one running dot, accumulated
 		// in a register in the same order as the general path.
@@ -275,8 +392,8 @@ func gemmBandN(i0, i1, n, k int, a []float32, lda int, b []float32, ldb int, c [
 		}
 		return
 	}
-	for kb := 0; kb < k; kb += gemmKC {
-		kEnd := kb + gemmKC
+	for kb := 0; kb < k; kb += kc {
+		kEnd := kb + kc
 		if kEnd > k {
 			kEnd = k
 		}
@@ -311,9 +428,9 @@ func gemmBandN(i0, i1, n, k int, a []float32, lda int, b []float32, ldb int, c [
 
 // gemmBandTN is gemmBandN with A read transposed (A is k×m, element (t, i)
 // at a[t*lda+i]).
-func gemmBandTN(i0, i1, n, k int, a []float32, lda int, b []float32, ldb int, c []float32, ldc int) {
-	for kb := 0; kb < k; kb += gemmKC {
-		kEnd := kb + gemmKC
+func gemmBandTN(i0, i1, n, k, kc int, a []float32, lda int, b []float32, ldb int, c []float32, ldc int) {
+	for kb := 0; kb < k; kb += kc {
+		kEnd := kb + kc
 		if kEnd > k {
 			kEnd = k
 		}

@@ -1,6 +1,7 @@
 package tensor
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
@@ -225,6 +226,128 @@ func TestTransposeBlockedLarge(t *testing.T) {
 			if m.At(i, j) != tr.At(j, i) {
 				t.Fatalf("tr[%d,%d] mismatch", j, i)
 			}
+		}
+	}
+}
+
+// TestSetGemmWorkersClamp pins the documented clamp rules: negatives restore
+// the GOMAXPROCS default (stored as 0), absurd values clamp to the 256
+// ceiling, and the previous value is returned.
+func TestSetGemmWorkersClamp(t *testing.T) {
+	prev := SetGemmWorkers(0)
+	defer SetGemmWorkers(prev)
+
+	if got := SetGemmWorkers(-5); got != 0 {
+		t.Fatalf("previous after reset = %d, want 0", got)
+	}
+	if got := GemmWorkers(); got < 1 {
+		t.Fatalf("GemmWorkers with negative override = %d, want >= 1", got)
+	}
+	SetGemmWorkers(1 << 20)
+	if got := GemmWorkers(); got != 256 {
+		t.Fatalf("GemmWorkers after absurd override = %d, want 256", got)
+	}
+	if got := SetGemmWorkers(3); got != 256 {
+		t.Fatalf("previous after clamp = %d, want 256", got)
+	}
+	if got := GemmWorkers(); got != 3 {
+		t.Fatalf("GemmWorkers = %d, want 3", got)
+	}
+}
+
+// TestSetGemmKCClamp pins the blocking-depth override rules: 0 restores
+// autotuning, oversized values clamp to 1024, and the autotuned depth stays
+// within [64, 1024] across output widths.
+func TestSetGemmKCClamp(t *testing.T) {
+	prev := SetGemmKC(0)
+	defer SetGemmKC(prev)
+
+	SetGemmKC(1 << 20)
+	if got := gemmKCFor(8); got != 1024 {
+		t.Fatalf("pinned kc = %d, want 1024", got)
+	}
+	SetGemmKC(0)
+	for _, n := range []int{1, 8, 64, 512, 4096, 1 << 20} {
+		kc := gemmKCFor(n)
+		if kc < 64 || kc > 1024 {
+			t.Fatalf("autotuned kc for n=%d is %d, outside [64, 1024]", n, kc)
+		}
+	}
+	// Narrower outputs must get panels at least as deep as wider ones.
+	if gemmKCFor(16) < gemmKCFor(1024) {
+		t.Fatalf("kc not monotone: n=16 -> %d < n=1024 -> %d", gemmKCFor(16), gemmKCFor(1024))
+	}
+}
+
+// TestSetGemmWorkersConcurrent hammers the worker and KC knobs from many
+// goroutines while kernels run, asserting (under -race) that tuning is safe
+// mid-flight and that every result stays bit-identical to the reference.
+func TestSetGemmWorkersConcurrent(t *testing.T) {
+	prevW := SetGemmWorkers(0)
+	prevKC := SetGemmKC(0)
+	defer func() {
+		SetGemmWorkers(prevW)
+		SetGemmKC(prevKC)
+	}()
+
+	rng := rand.New(rand.NewSource(17))
+	a := randMat(rng, 48, 40)
+	b := randMat(rng, 40, 52)
+	want, err := a.MatMulRef(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 8)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				SetGemmWorkers((g+i)%7 - 1) // sweeps -1..5, exercising the clamp
+				SetGemmKC((i % 3) * 128)
+				got := NewMatrix(48, 52)
+				if err := Gemm(got, a, b); err != nil {
+					errc <- err
+					return
+				}
+				if !got.Equal(want) {
+					errc <- fmt.Errorf("result diverged from reference at g=%d i=%d", g, i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	if err := <-errc; err != nil {
+		t.Fatalf("concurrent tuning: %v", err)
+	}
+}
+
+// TestGemmWorkerInvarianceLarge runs a multiply big enough to engage the
+// chunked work-stealing dispatcher (many chunks per worker) and checks
+// bit-identity across worker counts, including counts above the chunk count.
+func TestGemmWorkerInvarianceLarge(t *testing.T) {
+	prev := SetGemmWorkers(1)
+	defer SetGemmWorkers(prev)
+
+	rng := rand.New(rand.NewSource(23))
+	a := randMat(rng, 200, 96)
+	b := randMat(rng, 96, 64)
+	want := NewMatrix(200, 64)
+	if err := Gemm(want, a, b); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 3, 5, 16, 256} {
+		SetGemmWorkers(w)
+		got := NewMatrix(200, 64)
+		if err := Gemm(got, a, b); err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("workers=%d diverged from workers=1", w)
 		}
 	}
 }
