@@ -60,8 +60,7 @@ func main() {
 		usage()
 		global.PrintDefaults()
 	}
-	//mhlint:ignore errcheck ExitOnError makes Parse exit on failure
-	_ = global.Parse(os.Args[1:])
+	_ = global.Parse(os.Args[1:]) // ExitOnError makes Parse exit on failure
 	if global.NArg() < 1 {
 		usage()
 		os.Exit(2)

@@ -161,7 +161,6 @@ func TestPullHeadersAndRange(t *testing.T) {
 		t.Fatal(err)
 	}
 	body, err := io.ReadAll(resp.Body)
-	//mhlint:ignore errcheck response fully read above
 	_ = resp.Body.Close()
 	if err != nil || resp.StatusCode != http.StatusOK {
 		t.Fatalf("pull = %d, %v", resp.StatusCode, err)
@@ -189,7 +188,6 @@ func TestPullHeadersAndRange(t *testing.T) {
 		t.Fatal(err)
 	}
 	rest, err := io.ReadAll(resp2.Body)
-	//mhlint:ignore errcheck response fully read above
 	_ = resp2.Body.Close()
 	if err != nil || resp2.StatusCode != http.StatusPartialContent {
 		t.Fatalf("range pull = %d, %v", resp2.StatusCode, err)
@@ -207,7 +205,6 @@ func TestPullHeadersAndRange(t *testing.T) {
 		t.Fatal(err)
 	}
 	full, err := io.ReadAll(resp3.Body)
-	//mhlint:ignore errcheck response fully read above
 	_ = resp3.Body.Close()
 	if err != nil || resp3.StatusCode != http.StatusOK || !bytes.Equal(full, body) {
 		t.Fatalf("stale If-Range: status %d, %d bytes, %v", resp3.StatusCode, len(full), err)
@@ -422,7 +419,6 @@ func TestConcurrentPublishPullSearch(t *testing.T) {
 					continue
 				}
 				body, err := io.ReadAll(resp.Body)
-				//mhlint:ignore errcheck response fully read above
 				_ = resp.Body.Close()
 				if err != nil || resp.StatusCode != http.StatusOK {
 					report("pull read: %d, %v", resp.StatusCode, err)

@@ -175,7 +175,6 @@ func TestPullFailedExtractThenRetrySucceeds(t *testing.T) {
 		sum := sha256.Sum256(b)
 		w.Header().Set(DigestHeader, digestString(sum[:]))
 		w.Header().Set("Content-Length", strconv.Itoa(len(b)))
-		//mhlint:ignore errcheck test server response write
 		_, _ = w.Write(b)
 	})
 	ts := httptest.NewServer(mux)
@@ -218,7 +217,6 @@ func TestPullDigestMismatchRejected(t *testing.T) {
 	mux.HandleFunc("/api/pull", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set(DigestHeader, strings.Repeat("0", 64)) // never the body's digest
 		w.Header().Set("Content-Length", "9")
-		//mhlint:ignore errcheck test server response write
 		_, _ = w.Write([]byte("not-a-zip"))
 	})
 	ts := httptest.NewServer(mux)
@@ -243,7 +241,6 @@ func TestSearchRetriesServerErrors(t *testing.T) {
 			http.Error(w, "wedged", http.StatusInternalServerError)
 			return
 		}
-		//mhlint:ignore errcheck test server response write
 		_, _ = w.Write([]byte(`[{"name":"r"}]`))
 	})
 	ts := httptest.NewServer(mux)
@@ -306,7 +303,6 @@ func TestPullStallWatchdogAborts(t *testing.T) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/api/pull", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Length", "1024")
-		//mhlint:ignore errcheck test server response write
 		_, _ = w.Write([]byte("partial"))
 		if f, ok := w.(http.Flusher); ok {
 			f.Flush()

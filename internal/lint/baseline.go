@@ -1,0 +1,203 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// This file is the machine-readable half of the driver: a JSON report for
+// CI artifacts and a committed-baseline workflow. The baseline holds the
+// accepted findings of a codebase (typically empty once everything is
+// fixed); `mhlint -baseline lint.baseline.json` fails only on findings NOT
+// in the baseline, so a large new analyzer can land gated before every
+// legacy finding is burned down, without letting new regressions through.
+//
+// Baseline entries are keyed by (file, analyzer, message) with
+// multiplicity — deliberately no line numbers, so unrelated edits that
+// shift code do not churn the file. Paths are module-relative for the same
+// reason.
+
+// BaselineVersion is the schema version written and accepted.
+const BaselineVersion = 1
+
+// BaselineEntry identifies one accepted finding, line-insensitively.
+type BaselineEntry struct {
+	File     string `json:"file"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// Baseline is the decoded accepted-findings file.
+type Baseline struct {
+	Version  int             `json:"version"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// LoadBaseline decodes and validates a baseline file's bytes.
+func LoadBaseline(data []byte) (*Baseline, error) {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var b Baseline
+	if err := dec.Decode(&b); err != nil {
+		return nil, fmt.Errorf("lint: baseline: %w", err)
+	}
+	if b.Version != BaselineVersion {
+		return nil, fmt.Errorf("lint: baseline: unsupported version %d (want %d)", b.Version, BaselineVersion)
+	}
+	for i, e := range b.Findings {
+		if e.File == "" || e.Analyzer == "" || e.Message == "" {
+			return nil, fmt.Errorf("lint: baseline: entry %d missing file/analyzer/message", i)
+		}
+	}
+	return &b, nil
+}
+
+// MakeBaseline builds a baseline accepting the given findings, with paths
+// rewritten by rel (pass nil for identity) and entries sorted.
+func MakeBaseline(findings []Finding, rel func(string) string) *Baseline {
+	b := &Baseline{Version: BaselineVersion, Findings: []BaselineEntry{}}
+	for _, f := range findings {
+		b.Findings = append(b.Findings, BaselineEntry{
+			File:     relPath(rel, f.Pos.Filename),
+			Analyzer: f.Analyzer,
+			Message:  f.Message,
+		})
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+// Marshal renders the baseline as stable, indented JSON ending in a
+// newline, for committing.
+func (b *Baseline) Marshal() ([]byte, error) {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("lint: baseline: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// Split partitions findings into those not covered by the baseline (new —
+// these should fail the build) and those it accepts. Each baseline entry
+// accepts at most as many findings as its multiplicity. It also returns
+// how many baseline entries matched nothing (stale baseline rows worth a
+// refresh).
+func (b *Baseline) Split(findings []Finding, rel func(string) string) (fresh, accepted []Finding, unmatched int) {
+	budget := map[BaselineEntry]int{}
+	for _, e := range b.Findings {
+		budget[e]++
+	}
+	for _, f := range findings {
+		key := BaselineEntry{
+			File:     relPath(rel, f.Pos.Filename),
+			Analyzer: f.Analyzer,
+			Message:  f.Message,
+		}
+		if budget[key] > 0 {
+			budget[key]--
+			accepted = append(accepted, f)
+		} else {
+			fresh = append(fresh, f)
+		}
+	}
+	for _, n := range budget {
+		unmatched += n
+	}
+	return fresh, accepted, unmatched
+}
+
+func relPath(rel func(string) string, p string) string {
+	if rel != nil {
+		return rel(p)
+	}
+	return p
+}
+
+// ModuleRel returns a function rewriting absolute file paths to
+// slash-separated module-relative ones, leaving paths outside root (and
+// already-relative fixture names) untouched.
+func ModuleRel(root string) func(string) string {
+	return func(p string) string {
+		if root == "" || !filepath.IsAbs(p) {
+			return filepath.ToSlash(p)
+		}
+		r, err := filepath.Rel(root, p)
+		if err != nil || strings.HasPrefix(r, "..") {
+			return filepath.ToSlash(p)
+		}
+		return filepath.ToSlash(r)
+	}
+}
+
+// JSONFinding is the machine-readable form of one finding.
+type JSONFinding struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed string `json:"suppressed_by,omitempty"`
+}
+
+// JSONReport is the full machine-readable run outcome, ordered
+// deterministically (findings sorted by file, line, col, analyzer).
+type JSONReport struct {
+	Module     string        `json:"module"`
+	Packages   int           `json:"packages"`
+	Analyzers  []string      `json:"analyzers"`
+	Findings   []JSONFinding `json:"findings"`
+	Baselined  []JSONFinding `json:"baselined,omitempty"`
+	Suppressed []JSONFinding `json:"suppressed"`
+}
+
+// Report assembles the JSON form of a run. fresh/accepted come from
+// Baseline.Split (pass res.Findings and nil when no baseline is in play).
+func Report(module string, packages int, analyzers []*Analyzer, fresh, accepted, suppressed []Finding, rel func(string) string) *JSONReport {
+	conv := func(fs []Finding) []JSONFinding {
+		out := make([]JSONFinding, 0, len(fs))
+		for _, f := range fs {
+			out = append(out, JSONFinding{
+				File:       relPath(rel, f.Pos.Filename),
+				Line:       f.Pos.Line,
+				Col:        f.Pos.Column,
+				Analyzer:   f.Analyzer,
+				Message:    f.Message,
+				Suppressed: f.SuppressedBy,
+			})
+		}
+		return out
+	}
+	names := make([]string, 0, len(analyzers))
+	for _, a := range analyzers {
+		names = append(names, a.Name)
+	}
+	return &JSONReport{
+		Module:     module,
+		Packages:   packages,
+		Analyzers:  names,
+		Findings:   conv(fresh),
+		Baselined:  conv(accepted),
+		Suppressed: conv(suppressed),
+	}
+}
+
+// Marshal renders the report as indented JSON ending in a newline.
+func (r *JSONReport) Marshal() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("lint: json report: %w", err)
+	}
+	return append(data, '\n'), nil
+}

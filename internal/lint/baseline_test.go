@@ -1,0 +1,198 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+func mkFinding(file string, line int, analyzer, msg string) Finding {
+	return Finding{
+		Pos:      token.Position{Filename: file, Line: line, Column: 1},
+		Analyzer: analyzer,
+		Message:  msg,
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	findings := []Finding{
+		mkFinding("/root/mod/internal/a/a.go", 10, "goroleak", "leak"),
+		mkFinding("/root/mod/internal/b/b.go", 20, "ctxflow", "fresh root"),
+	}
+	rel := ModuleRel("/root/mod")
+	b := MakeBaseline(findings, rel)
+	data, err := b.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBaseline(data)
+	if err != nil {
+		t.Fatalf("LoadBaseline after Marshal: %v", err)
+	}
+	if len(got.Findings) != 2 || got.Findings[0].File != "internal/a/a.go" {
+		t.Fatalf("round trip = %+v", got.Findings)
+	}
+
+	fresh, accepted, unmatched := got.Split(findings, rel)
+	if len(fresh) != 0 || len(accepted) != 2 || unmatched != 0 {
+		t.Fatalf("Split of the exact set = fresh %d, accepted %d, unmatched %d", len(fresh), len(accepted), unmatched)
+	}
+}
+
+func TestBaselineSplitIsLineInsensitive(t *testing.T) {
+	old := mkFinding("a.go", 10, "goroleak", "leak")
+	b := MakeBaseline([]Finding{old}, nil)
+	// The same finding drifted to another line still matches.
+	drifted := mkFinding("a.go", 99, "goroleak", "leak")
+	fresh, accepted, unmatched := b.Split([]Finding{drifted}, nil)
+	if len(fresh) != 0 || len(accepted) != 1 || unmatched != 0 {
+		t.Fatalf("drifted finding not accepted: fresh %d, accepted %d, unmatched %d", len(fresh), len(accepted), unmatched)
+	}
+}
+
+func TestBaselineSplitMultiset(t *testing.T) {
+	dup := mkFinding("a.go", 1, "errcheck", "dropped")
+	b := MakeBaseline([]Finding{dup}, nil) // ONE accepted instance
+	fresh, accepted, unmatched := b.Split([]Finding{dup, mkFinding("a.go", 2, "errcheck", "dropped")}, nil)
+	if len(accepted) != 1 || len(fresh) != 1 {
+		t.Fatalf("multiset budget violated: fresh %d, accepted %d", len(fresh), len(accepted))
+	}
+	if unmatched != 0 {
+		t.Fatalf("unmatched = %d, want 0", unmatched)
+	}
+
+	// A baseline row matching nothing is counted, not fatal.
+	_, _, unmatched = b.Split(nil, nil)
+	if unmatched != 1 {
+		t.Fatalf("unmatched = %d, want 1", unmatched)
+	}
+}
+
+func TestLoadBaselineRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"wrong version":  `{"version": 2, "findings": []}`,
+		"unknown field":  `{"version": 1, "findings": [], "extra": true}`,
+		"missing fields": `{"version": 1, "findings": [{"file": "a.go"}]}`,
+		"not json":       `boom`,
+	}
+	for name, src := range cases {
+		if _, err := LoadBaseline([]byte(src)); err == nil {
+			t.Errorf("%s: LoadBaseline accepted %q", name, src)
+		}
+	}
+}
+
+func TestModuleRel(t *testing.T) {
+	rel := ModuleRel("/root/mod")
+	cases := [][2]string{
+		{"/root/mod/internal/a/a.go", "internal/a/a.go"},
+		{"/elsewhere/b.go", "/elsewhere/b.go"},
+		{"fixture.go", "fixture.go"}, // already relative: untouched
+	}
+	for _, c := range cases {
+		if got := rel(c[0]); got != c[1] {
+			t.Errorf("rel(%q) = %q, want %q", c[0], got, c[1])
+		}
+	}
+}
+
+func TestJSONReportShape(t *testing.T) {
+	fresh := []Finding{mkFinding("a.go", 1, "goroleak", "leak")}
+	sup := []Finding{{
+		Pos:          token.Position{Filename: "b.go", Line: 2, Column: 3},
+		Analyzer:     "errcheck",
+		Message:      "dropped",
+		SuppressedBy: "audited",
+	}}
+	r := Report("modelhub", 3, All(), fresh, nil, sup, nil)
+	data, err := r.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{
+		`"module": "modelhub"`,
+		`"packages": 3`,
+		`"goroleak"`,
+		`"suppressed_by": "audited"`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report JSON missing %s:\n%s", want, s)
+		}
+	}
+	if !strings.HasSuffix(s, "\n") {
+		t.Error("report JSON should end in a newline")
+	}
+}
+
+func TestParseIgnoreDirective(t *testing.T) {
+	cases := []struct {
+		text     string
+		analyzer string
+		reason   string
+		ok       bool
+	}{
+		{"//mhlint:ignore errcheck close error is moot", "errcheck", "close error is moot", true},
+		{"//mhlint:ignore * blanket", "*", "blanket", true},
+		{"//mhlint:ignore errcheck", "errcheck", "", true},
+		{"//mhlint:ignore", "", "", true},
+		{"// mhlint:ignore errcheck spaced out", "", "", false},
+		{"//nolint:errcheck", "", "", false},
+		{"plain text", "", "", false},
+	}
+	for _, c := range cases {
+		a, r, ok := ParseIgnoreDirective(c.text)
+		if a != c.analyzer || r != c.reason || ok != c.ok {
+			t.Errorf("ParseIgnoreDirective(%q) = (%q, %q, %v), want (%q, %q, %v)", c.text, a, r, ok, c.analyzer, c.reason, c.ok)
+		}
+	}
+}
+
+// FuzzLintDirectiveAndBaseline drives arbitrary bytes through the two
+// text-format parsers the lint gate trusts: the //mhlint:ignore directive
+// parser and the baseline JSON loader. Invariants: neither panics; a
+// directive parse that claims ok really saw the prefix; a baseline that
+// loads survives a marshal/load round trip with the same entry count.
+func FuzzLintDirectiveAndBaseline(f *testing.F) {
+	f.Add([]byte("//mhlint:ignore errcheck close error is moot"))
+	f.Add([]byte("//mhlint:ignore * blanket excuse"))
+	f.Add([]byte("//mhlint:ignore\t"))
+	f.Add([]byte(`{"version": 1, "findings": []}`))
+	f.Add([]byte(`{"version": 1, "findings": [{"file": "a.go", "analyzer": "goroleak", "message": "leak"}]}`))
+	f.Add([]byte(`{"version": 9}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		text := string(data)
+		analyzer, reason, ok := ParseIgnoreDirective(text)
+		if ok && !strings.HasPrefix(text, "//mhlint:ignore") {
+			t.Fatalf("ok=true for non-directive %q", text)
+		}
+		if !ok && (analyzer != "" || reason != "") {
+			t.Fatalf("not-a-directive returned content (%q, %q)", analyzer, reason)
+		}
+		if ok && utf8.ValidString(text) {
+			// Reparsing a directive rebuilt from its parts must agree on
+			// the analyzer (reason whitespace is normalized).
+			a2, _, ok2 := ParseIgnoreDirective("//mhlint:ignore " + analyzer + " " + reason)
+			if analyzer != "" && (!ok2 || a2 != analyzer) {
+				t.Fatalf("rebuilt directive parsed as (%q, %v), want analyzer %q", a2, ok2, analyzer)
+			}
+		}
+
+		b, err := LoadBaseline(data)
+		if err != nil {
+			return
+		}
+		out, err := b.Marshal()
+		if err != nil {
+			t.Fatalf("loaded baseline fails to marshal: %v", err)
+		}
+		b2, err := LoadBaseline(out)
+		if err != nil {
+			t.Fatalf("marshalled baseline fails to reload: %v", err)
+		}
+		if len(b2.Findings) != len(b.Findings) {
+			t.Fatalf("round trip changed entry count: %d -> %d", len(b.Findings), len(b2.Findings))
+		}
+	})
+}

@@ -1,0 +1,223 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// detpath extends floatdet from a lexical scan to a path-sensitive check
+// over the CFG, for the same packages carrying the bit-identical-results
+// contract (internal/tensor, internal/dnn, internal/pas). floatdet catches
+// float accumulation directly inside a map-range body; detpath catches the
+// two ways nondeterministic map order leaks out of the loop:
+//
+//   - ordered sinks: writing to an outer strings.Builder / bytes.Buffer /
+//     io.Writer (or fmt.Fprint* to one) inside a map-range body emits in
+//     iteration order — no later fix-up is possible, so it is reported at
+//     the write;
+//   - unsorted key/value collection: appending to an outer slice inside a
+//     map-range body taints the slice with iteration order. The taint is
+//     killed by a sort call (sort.* / slices.Sort*) naming the slice. A
+//     CFG path on which the tainted slice reaches a `return` or is itself
+//     ranged over (the classic collect-keys-then-iterate pattern, minus
+//     the sort) is reported — float accumulation over such a range is
+//     exactly the nondeterminism floatdet exists to prevent.
+var analyzerDetpath = &Analyzer{
+	Name: "detpath",
+	Doc:  "map-iteration order escaping via unsorted collected slices or ordered sinks in the deterministic packages",
+	Run:  runDetpath,
+}
+
+func runDetpath(pass *Pass) {
+	covered := false
+	for _, suf := range floatdetSuffixes {
+		if strings.HasSuffix(pass.Path, suf) {
+			covered = true
+			break
+		}
+	}
+	if !covered {
+		return
+	}
+	eachFunc(pass.Files, func(decl *ast.FuncDecl, lit *ast.FuncLit, body *ast.BlockStmt) {
+		checkDetpathBody(pass, body)
+	})
+}
+
+// taintSource is one append-into-outer-slice site inside a map-range body.
+type taintSource struct {
+	assign *ast.AssignStmt
+	pos    token.Pos
+	name   string
+}
+
+func checkDetpathBody(pass *Pass, body *ast.BlockStmt) {
+	taints := map[types.Object]taintSource{}
+	inspectSkippingFuncLits(body, func(n ast.Node) {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok || !isMapRange(pass.Info, rng) {
+			return
+		}
+		inspectSkippingFuncLits(rng.Body, func(m ast.Node) {
+			switch m := m.(type) {
+			case *ast.AssignStmt:
+				collectAppendTaint(pass, rng, m, taints)
+			case *ast.CallExpr:
+				checkOrderedSink(pass, rng, m)
+			}
+		})
+	})
+	if len(taints) == 0 {
+		return
+	}
+	cfg := buildCFG(body)
+	apply := func(n ast.Node, facts objSet) {
+		ast.Inspect(n, func(x ast.Node) bool {
+			if _, ok := x.(*ast.FuncLit); ok {
+				return false
+			}
+			if as, ok := x.(*ast.AssignStmt); ok {
+				for obj, t := range taints {
+					if t.assign == as {
+						facts[obj] = true
+					}
+				}
+			}
+			if call, ok := x.(*ast.CallExpr); ok && isSortCall(pass.Info, call) {
+				for obj := range taints {
+					if callMentionsObj(pass.Info, call, obj) {
+						delete(facts, obj)
+					}
+				}
+			}
+			return true
+		})
+	}
+	visit := func(n ast.Node, facts objSet) {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for obj := range facts {
+				if mentionsObj(pass.Info, n, obj) {
+					t := taints[obj]
+					pass.Reportf(n.Pos(), "%s collects map keys/values in iteration order (append at line %d) and reaches this return unsorted; sort it for bit-identical results", t.name, pass.Fset.Position(t.pos).Line)
+				}
+			}
+		case ast.Expr:
+			// Range heads record their X expression; ranging over a tainted
+			// slice replays map order.
+			if id := identFor(n); id != nil {
+				if obj := pass.Info.Uses[id]; obj != nil && facts[obj] {
+					if isRangeHead(pass.Info, id) {
+						t := taints[obj]
+						pass.Reportf(n.Pos(), "range over %s replays map iteration order (append at line %d); sort it first for bit-identical results", t.name, pass.Fset.Position(t.pos).Line)
+					}
+				}
+			}
+		}
+	}
+	forwardFlow(cfg, apply, visit)
+}
+
+// isMapRange reports whether the range statement iterates a map.
+func isMapRange(info *types.Info, rng *ast.RangeStmt) bool {
+	t := info.TypeOf(rng.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// collectAppendTaint records `x = append(x, ...)` where x is a slice
+// declared outside the map-range statement.
+func collectAppendTaint(pass *Pass, rng *ast.RangeStmt, as *ast.AssignStmt, taints map[types.Object]taintSource) {
+	for i, rhs := range as.Rhs {
+		if i >= len(as.Lhs) {
+			break
+		}
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || id.Name != "append" {
+			continue
+		}
+		id := identFor(as.Lhs[i])
+		if id == nil || id.Name == "_" {
+			continue
+		}
+		obj := objOf(pass.Info, id)
+		if obj == nil {
+			continue
+		}
+		if obj.Pos() >= rng.Pos() && obj.Pos() < rng.End() {
+			continue // loop-local collection never escapes an iteration
+		}
+		if _, seen := taints[obj]; !seen {
+			taints[obj] = taintSource{assign: as, pos: as.Pos(), name: id.Name}
+		}
+	}
+}
+
+// orderedSinkRecvs are receiver types whose writes emit in call order.
+var orderedSinkRecvs = map[string]bool{
+	"strings.Builder": true,
+	"bytes.Buffer":    true,
+}
+
+// checkOrderedSink flags writes to an outer ordered sink inside a map-range
+// body.
+func checkOrderedSink(pass *Pass, rng *ast.RangeStmt, call *ast.CallExpr) {
+	outer := func(e ast.Expr) bool {
+		root := rootIdent(e)
+		if root == nil {
+			return false
+		}
+		obj := objOf(pass.Info, root)
+		return obj != nil && (obj.Pos() < rng.Pos() || obj.Pos() >= rng.End())
+	}
+	if r := recvNamed(pass.Info, call); orderedSinkRecvs[r] {
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if ok && strings.HasPrefix(sel.Sel.Name, "Write") && outer(sel.X) {
+			pass.Reportf(call.Pos(), "write to %s inside a map range emits in iteration order; iterate sorted keys", types.ExprString(sel.X))
+		}
+		return
+	}
+	if path := calleePath(pass.Info, call); strings.HasPrefix(path, "fmt.Fprint") && len(call.Args) > 0 && outer(call.Args[0]) {
+		pass.Reportf(call.Pos(), "%s to %s inside a map range emits in iteration order; iterate sorted keys", path, types.ExprString(call.Args[0]))
+	}
+}
+
+// isSortCall reports whether the call is a sort.* or slices.Sort* ordering
+// call.
+func isSortCall(info *types.Info, call *ast.CallExpr) bool {
+	path := calleePath(info, call)
+	return strings.HasPrefix(path, "sort.") || strings.HasPrefix(path, "slices.Sort")
+}
+
+// callMentionsObj reports whether any call argument references obj.
+func callMentionsObj(info *types.Info, call *ast.CallExpr, obj types.Object) bool {
+	for _, a := range call.Args {
+		if mentionsObj(info, a, obj) {
+			return true
+		}
+	}
+	return false
+}
+
+// isRangeHead reports whether the identifier is the X of a range statement.
+// The CFG records range heads as bare expressions, so the ident's immediate
+// role is recovered from the expression itself: detpath passes only nodes
+// recorded by the builder, and a bare expression node that IS the ident can
+// only have come from a range head or a condition; conditions over slices
+// don't type-check, so the ident's slice type suffices.
+func isRangeHead(info *types.Info, id *ast.Ident) bool {
+	t := info.TypeOf(id)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Slice)
+	return ok
+}

@@ -120,6 +120,8 @@ func rootIdent(e ast.Expr) *ast.Ident {
 			e = v.X
 		case *ast.StarExpr:
 			e = v.X
+		case *ast.UnaryExpr:
+			e = v.X // &x roots at x
 		default:
 			return nil
 		}

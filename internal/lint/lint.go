@@ -78,7 +78,8 @@ func (p *Pass) InLibrary() bool {
 	return strings.HasPrefix(p.Path, p.Module+"/internal/")
 }
 
-// All returns the full analyzer registry in stable order.
+// All returns the full analyzer registry in stable order: the five gen-1
+// syntax-level analyzers, then the five gen-2 CFG/dataflow analyzers.
 func All() []*Analyzer {
 	return []*Analyzer{
 		analyzerLocksafe,
@@ -86,6 +87,11 @@ func All() []*Analyzer {
 		analyzerGohygiene,
 		analyzerFloatdet,
 		analyzerAPIHygiene,
+		analyzerGoroleak,
+		analyzerAtomicfield,
+		analyzerCtxflow,
+		analyzerSpanend,
+		analyzerDetpath,
 	}
 }
 
@@ -121,12 +127,28 @@ type Result struct {
 	Suppressed []Finding
 }
 
-// Run executes the analyzers over each package and applies suppression
-// directives.
+// Run executes the analyzers over each package, applies suppression
+// directives, and reports directive hygiene: a directive naming an unknown
+// analyzer is a finding, and a directive that suppresses nothing (stale —
+// the code it excused was fixed or moved) is a finding too, so the
+// suppression count is an enforced budget rather than a ratchet. Staleness
+// is only decidable for directives whose analyzer actually ran: partial
+// `-only` runs skip the check for unselected analyzers, and wildcard
+// directives are only checked when the full registry runs.
 func Run(pkgs []*Package, analyzers []*Analyzer) Result {
+	registry := map[string]bool{}
+	for _, a := range All() {
+		registry[a.Name] = true
+	}
+	selected := map[string]bool{}
+	for _, a := range analyzers {
+		selected[a.Name] = true
+	}
+	fullRun := len(selected) == len(registry)
+
 	var res Result
 	for _, pkg := range pkgs {
-		ignores, malformed := collectIgnores(pkg.Fset, pkg.Files)
+		ignores, directives, malformed := collectIgnores(pkg.Fset, pkg.Files)
 		res.Findings = append(res.Findings, malformed...)
 		var raw []Finding
 		for _, a := range analyzers {
@@ -148,6 +170,25 @@ func Run(pkgs []*Package, analyzers []*Analyzer) Result {
 				res.Suppressed = append(res.Suppressed, f)
 			} else {
 				res.Findings = append(res.Findings, f)
+			}
+		}
+		for _, d := range directives {
+			switch {
+			case d.analyzer != "*" && !registry[d.analyzer]:
+				res.Findings = append(res.Findings, Finding{
+					Pos:      d.pos,
+					Analyzer: "mhlint",
+					Message:  fmt.Sprintf("ignore directive names unknown analyzer %q", d.analyzer),
+				})
+			case d.used:
+			case d.analyzer == "*" && !fullRun:
+				// A wildcard's staleness is undecidable on a partial run.
+			case d.analyzer == "*" || selected[d.analyzer]:
+				res.Findings = append(res.Findings, Finding{
+					Pos:      d.pos,
+					Analyzer: "mhlint",
+					Message:  fmt.Sprintf("stale ignore directive: no %s finding on this or the next line; delete it or re-justify", d.analyzer),
+				})
 			}
 		}
 	}
@@ -172,35 +213,53 @@ func sortFindings(fs []Finding) {
 	})
 }
 
-// ignoreDirective is one parsed //mhlint:ignore comment.
+// ignoreDirective is one parsed //mhlint:ignore comment. `used` is set
+// when the directive suppresses at least one finding, so unused directives
+// surface as stale.
 type ignoreDirective struct {
 	analyzer string
 	reason   string
+	pos      token.Position
+	used     bool
 }
 
 // ignoreIndex maps file -> line -> directives covering that line. A
 // directive covers its own source line (trailing comment) and the line
 // directly below it (comment on its own line).
-type ignoreIndex map[string]map[int][]ignoreDirective
+type ignoreIndex map[string]map[int][]*ignoreDirective
 
 const ignorePrefix = "//mhlint:ignore"
 
+// ParseIgnoreDirective parses the text of one comment as an
+// //mhlint:ignore directive. It returns ok=false when the comment is not a
+// directive at all, and an empty analyzer or reason when it is one but is
+// malformed (both are mandatory).
+func ParseIgnoreDirective(text string) (analyzer, reason string, ok bool) {
+	if !strings.HasPrefix(text, ignorePrefix) {
+		return "", "", false
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+	analyzer, reason, _ = strings.Cut(rest, " ")
+	return analyzer, strings.TrimSpace(reason), true
+}
+
 // collectIgnores parses every //mhlint:ignore directive in the package.
 // Malformed directives (missing analyzer or reason) are returned as
-// findings under the reserved analyzer name "mhlint".
-func collectIgnores(fset *token.FileSet, files []*ast.File) (ignoreIndex, []Finding) {
+// findings under the reserved analyzer name "mhlint"; well-formed ones are
+// returned both indexed by covered line and as a flat list for staleness
+// accounting.
+func collectIgnores(fset *token.FileSet, files []*ast.File) (ignoreIndex, []*ignoreDirective, []Finding) {
 	idx := ignoreIndex{}
+	var directives []*ignoreDirective
 	var malformed []Finding
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				if !strings.HasPrefix(c.Text, ignorePrefix) {
+				name, reason, isDirective := ParseIgnoreDirective(c.Text)
+				if !isDirective {
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
-				name, reason, _ := strings.Cut(rest, " ")
-				reason = strings.TrimSpace(reason)
 				if name == "" || reason == "" {
 					malformed = append(malformed, Finding{
 						Pos:      pos,
@@ -211,23 +270,25 @@ func collectIgnores(fset *token.FileSet, files []*ast.File) (ignoreIndex, []Find
 				}
 				byLine := idx[pos.Filename]
 				if byLine == nil {
-					byLine = map[int][]ignoreDirective{}
+					byLine = map[int][]*ignoreDirective{}
 					idx[pos.Filename] = byLine
 				}
-				d := ignoreDirective{analyzer: name, reason: reason}
+				d := &ignoreDirective{analyzer: name, reason: reason, pos: pos}
+				directives = append(directives, d)
 				byLine[pos.Line] = append(byLine[pos.Line], d)
 				byLine[pos.Line+1] = append(byLine[pos.Line+1], d)
 			}
 		}
 	}
-	return idx, malformed
+	return idx, directives, malformed
 }
 
 // match reports whether a directive suppresses the finding, returning the
-// directive's reason.
+// directive's reason and marking the directive used.
 func (idx ignoreIndex) match(f Finding) (string, bool) {
 	for _, d := range idx[f.Pos.Filename][f.Pos.Line] {
 		if d.analyzer == f.Analyzer || d.analyzer == "*" {
+			d.used = true
 			return d.reason, true
 		}
 	}

@@ -1,14 +1,17 @@
 package lint
 
 import (
+	"errors"
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -16,15 +19,20 @@ import (
 // Package is one loaded, type-checked package of the module under analysis.
 // Only non-test files are loaded: the hygiene invariants target shipping
 // code, and test packages may deliberately violate them (fixtures, fault
-// injection).
+// injection). Files excluded from the host build by //go:build lines or
+// _GOOS/_GOARCH filename suffixes are skipped the same way `go build`
+// skips them.
 type Package struct {
 	Module string
 	Path   string
 	Dir    string
-	Fset   *token.FileSet
-	Files  []*ast.File
-	Types  *types.Package
-	Info   *types.Info
+	// Root is the module root directory, for rendering module-relative
+	// finding paths.
+	Root  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
 }
 
 // Load parses and type-checks the module rooted at dir (the directory
@@ -56,6 +64,11 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 	var out []*Package
 	for _, path := range want {
 		pkg, err := l.load(path)
+		if errors.Is(err, errNoHostFiles) {
+			// Every file is build-constrained off this platform; the go
+			// tool would not build it here either.
+			continue
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -63,6 +76,10 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 	}
 	return out, nil
 }
+
+// errNoHostFiles marks a package whose files are all excluded by build
+// constraints on the host platform.
+var errNoHostFiles = errors.New("lint: no source files for this platform")
 
 // findModule walks upward from dir to the directory containing go.mod and
 // extracts the module path.
@@ -127,7 +144,8 @@ func (l *loader) discover() error {
 	})
 }
 
-// sourceFiles lists the non-test .go files of a directory.
+// sourceFiles lists the non-test .go files of a directory that build on
+// the host platform.
 func (l *loader) sourceFiles(dir string) []string {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -139,10 +157,97 @@ func (l *loader) sourceFiles(dir string) []string {
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
 			continue
 		}
+		if !fileSuffixOK(name) {
+			continue
+		}
 		out = append(out, filepath.Join(dir, name))
 	}
 	sort.Strings(out)
 	return out
+}
+
+// knownOS / knownArch are the GOOS/GOARCH values recognized in filename
+// suffixes (name_GOOS.go, name_GOARCH.go, name_GOOS_GOARCH.go).
+var knownOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "js": true,
+	"linux": true, "netbsd": true, "openbsd": true, "plan9": true,
+	"solaris": true, "wasip1": true, "windows": true,
+}
+
+var knownArch = map[string]bool{
+	"386": true, "amd64": true, "arm": true, "arm64": true,
+	"loong64": true, "mips": true, "mipsle": true, "mips64": true,
+	"mips64le": true, "ppc64": true, "ppc64le": true, "riscv64": true,
+	"s390x": true, "wasm": true,
+}
+
+// unixOS is the set of GOOS values satisfying the "unix" build tag.
+var unixOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "linux": true,
+	"netbsd": true, "openbsd": true, "solaris": true,
+}
+
+// fileSuffixOK applies go's implicit filename build constraints for the
+// host platform.
+func fileSuffixOK(name string) bool {
+	base := strings.TrimSuffix(name, ".go")
+	parts := strings.Split(base, "_")
+	if len(parts) < 2 {
+		return true
+	}
+	last := parts[len(parts)-1]
+	if knownArch[last] {
+		if last != runtime.GOARCH {
+			return false
+		}
+		if len(parts) >= 3 && knownOS[parts[len(parts)-2]] {
+			return parts[len(parts)-2] == runtime.GOOS
+		}
+		return true
+	}
+	if knownOS[last] {
+		return last == runtime.GOOS
+	}
+	return true
+}
+
+// buildTagSatisfied evaluates one build-constraint tag for the host.
+func buildTagSatisfied(tag string) bool {
+	switch {
+	case tag == runtime.GOOS, tag == runtime.GOARCH, tag == "gc":
+		return true
+	case tag == "unix":
+		return unixOS[runtime.GOOS]
+	case strings.HasPrefix(tag, "go1."):
+		// The toolchain running this loader satisfies every released
+		// go1.x constraint this module is allowed to state (go.mod pins
+		// the floor); accepting them all avoids parsing runtime.Version.
+		return true
+	}
+	return false
+}
+
+// buildConstraintOK reports whether the //go:build line of a file (if any)
+// is satisfied on the host platform. Only the header — lines before the
+// package clause — is scanned, matching go/build.
+func buildConstraintOK(src []byte) bool {
+	for _, line := range strings.Split(string(src), "\n") {
+		line = strings.TrimSpace(line)
+		if constraint.IsGoBuild(line) {
+			expr, err := constraint.Parse(line)
+			if err != nil {
+				return true // malformed: let the type-checker surface it
+			}
+			return expr.Eval(buildTagSatisfied)
+		}
+		if line == "" || strings.HasPrefix(line, "//") {
+			continue
+		}
+		break // package clause or code: past the header
+	}
+	return true
 }
 
 // selectPaths expands patterns against the discovered package index.
@@ -215,14 +320,21 @@ func (l *loader) load(path string) (*Package, error) {
 	}
 	var files []*ast.File
 	for _, name := range l.sourceFiles(dir) {
-		f, err := parser.ParseFile(l.fset, name, nil, parser.ParseComments)
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		if !buildConstraintOK(src) {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, name, src, parser.ParseComments)
 		if err != nil {
 			return nil, fmt.Errorf("lint: %w", err)
 		}
 		files = append(files, f)
 	}
 	if len(files) == 0 {
-		return nil, fmt.Errorf("lint: package %s has no source files", path)
+		return nil, fmt.Errorf("%w: %s", errNoHostFiles, path)
 	}
 	info := &types.Info{
 		Types:      map[ast.Expr]types.TypeAndValue{},
@@ -248,6 +360,7 @@ func (l *loader) load(path string) (*Package, error) {
 		Module: l.module,
 		Path:   path,
 		Dir:    dir,
+		Root:   l.root,
 		Fset:   l.fset,
 		Files:  files,
 		Types:  tpkg,

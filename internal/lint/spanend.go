@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// spanend guards the obs span protocol: a span returned by obs.Start or
+// obs.StartRoot must be Ended on every return path, or its duration is
+// never observed and its parent's child rollup silently loses time. PR 4
+// wired spans through checkout/commit/evaluate by hand; this analyzer makes
+// the discipline mechanical before the service arc adds request-scoped
+// spans to every handler.
+//
+// The check is a forward may-analysis over the function CFG: starting a
+// span gens an "unended" fact on its variable; calling End (directly or via
+// defer) kills it; any other use — passing the span to a function,
+// returning it, storing it, capturing it in a closure — is treated as an
+// ownership transfer and conservatively kills too. A fact that survives to
+// the synthetic exit block means some path returns without End.
+var analyzerSpanend = &Analyzer{
+	Name: "spanend",
+	Doc:  "obs spans started without an End on every return path",
+	Run:  runSpanend,
+}
+
+func runSpanend(pass *Pass) {
+	obsPath := pass.Module + "/internal/obs"
+	if pass.Path == obsPath {
+		return // the obs package itself constructs spans internally
+	}
+	eachFunc(pass.Files, func(decl *ast.FuncDecl, lit *ast.FuncLit, body *ast.BlockStmt) {
+		checkSpanBody(pass, obsPath, body)
+	})
+}
+
+// spanStart records one tracked span variable and its starting assignment.
+type spanStart struct {
+	assign *ast.AssignStmt
+	pos    token.Pos
+	name   string
+}
+
+// checkSpanBody analyzes one function body (nested literals excluded: they
+// are analyzed as their own bodies).
+func checkSpanBody(pass *Pass, obsPath string, body *ast.BlockStmt) {
+	starts := map[types.Object]spanStart{}
+	inspectSkippingFuncLits(body, func(n ast.Node) {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		var spanIdx int
+		switch calleePath(pass.Info, call) {
+		case obsPath + ".Start":
+			spanIdx = 1 // (ctx, span)
+		case obsPath + ".StartRoot":
+			spanIdx = 0
+		default:
+			return
+		}
+		if spanIdx >= len(as.Lhs) {
+			return
+		}
+		id := identFor(as.Lhs[spanIdx])
+		if id == nil || id.Name == "_" {
+			return
+		}
+		if obj := objOf(pass.Info, id); obj != nil {
+			starts[obj] = spanStart{assign: as, pos: call.Pos(), name: id.Name}
+		}
+	})
+	if len(starts) == 0 {
+		return
+	}
+	cfg := buildCFG(body)
+	apply := func(n ast.Node, facts objSet) {
+		applySpanEffects(pass.Info, n, starts, facts)
+	}
+	in := forwardFlow(cfg, apply, nil)
+	for obj := range in[cfg.Exit] {
+		s := starts[obj]
+		pass.Reportf(s.pos, "span %s may reach a return without End(); defer %s.End() at the start site", s.name, s.name)
+	}
+}
+
+// applySpanEffects walks one CFG node applying span gen/kill:
+//
+//	gen:  the recorded starting assignment
+//	kill: <span>.End() (called directly, deferred, or value-used), or any
+//	      other appearance of the span variable (escape)
+func applySpanEffects(info *types.Info, n ast.Node, starts map[types.Object]spanStart, facts objSet) {
+	isStartAssign := func(x ast.Node) (types.Object, bool) {
+		for obj, s := range starts {
+			if s.assign == x {
+				return obj, true
+			}
+		}
+		return nil, false
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			// Closure capture transfers ownership: conservatively ended.
+			for obj := range starts {
+				if mentionsObj(info, x.Body, obj) {
+					delete(facts, obj)
+				}
+			}
+			return false
+		case *ast.AssignStmt:
+			if obj, ok := isStartAssign(x); ok {
+				facts[obj] = true
+				return false // the defining assign is not an escape
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "End" {
+				if id := identFor(sel.X); id != nil {
+					if obj := info.Uses[id]; obj != nil {
+						if _, tracked := starts[obj]; tracked {
+							delete(facts, obj)
+							return false // the End receiver is not an escape
+						}
+					}
+				}
+			}
+		case *ast.Ident:
+			if obj := info.Uses[x]; obj != nil {
+				if _, tracked := starts[obj]; tracked {
+					delete(facts, obj) // escape: returned, passed, or stored
+				}
+			}
+		}
+		return true
+	})
+}
+
+// inspectSkippingFuncLits visits every node of the body except subtrees of
+// nested function literals.
+func inspectSkippingFuncLits(body ast.Node, fn func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}

@@ -25,10 +25,22 @@ var syncLockNames = map[string]bool{
 // embeds a sync lock (directly, via struct fields, or via arrays), or ""
 // otherwise. Pointers stop the search: copying a pointer to a lock is fine.
 func lockKind(t types.Type) string {
-	return lockKindRec(t, map[types.Type]bool{})
+	return namedKind(t, func(pkg, name string) string {
+		if pkg == "sync" && syncLockNames[name] {
+			return "sync." + name
+		}
+		return ""
+	})
 }
 
-func lockKindRec(t types.Type, seen map[types.Type]bool) string {
+// namedKind walks a type (through named types, struct fields, and arrays —
+// pointers stop the search) and returns the first non-empty result of
+// match applied to a named type's (package path, name).
+func namedKind(t types.Type, match func(pkg, name string) string) string {
+	return namedKindRec(t, match, map[types.Type]bool{})
+}
+
+func namedKindRec(t types.Type, match func(pkg, name string) string, seen map[types.Type]bool) string {
 	if t == nil || seen[t] {
 		return ""
 	}
@@ -36,20 +48,22 @@ func lockKindRec(t types.Type, seen map[types.Type]bool) string {
 	t = types.Unalias(t)
 	if named, ok := t.(*types.Named); ok {
 		obj := named.Obj()
-		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && syncLockNames[obj.Name()] {
-			return "sync." + obj.Name()
+		if obj.Pkg() != nil {
+			if k := match(obj.Pkg().Path(), obj.Name()); k != "" {
+				return k
+			}
 		}
-		return lockKindRec(named.Underlying(), seen)
+		return namedKindRec(named.Underlying(), match, seen)
 	}
 	switch u := t.(type) {
 	case *types.Struct:
 		for i := 0; i < u.NumFields(); i++ {
-			if k := lockKindRec(u.Field(i).Type(), seen); k != "" {
+			if k := namedKindRec(u.Field(i).Type(), match, seen); k != "" {
 				return k
 			}
 		}
 	case *types.Array:
-		return lockKindRec(u.Elem(), seen)
+		return namedKindRec(u.Elem(), match, seen)
 	}
 	return ""
 }
@@ -71,11 +85,18 @@ func calleeObj(info *types.Info, call *ast.CallExpr) types.Object {
 }
 
 // calleePath returns "pkgpath.Name" for a call to a package-level function
-// or method of a stdlib/module package, or "" when unresolvable.
+// of a stdlib/module package, or "" when unresolvable. Methods are
+// deliberately excluded — (http.Header).Get must not alias net/http.Get —
+// and resolve through recvNamed instead.
 func calleePath(info *types.Info, call *ast.CallExpr) string {
 	obj := calleeObj(info, call)
 	if obj == nil || obj.Pkg() == nil {
 		return ""
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return ""
+		}
 	}
 	return obj.Pkg().Path() + "." + obj.Name()
 }

@@ -301,16 +301,23 @@ func buildCandidates(snaps []SnapshotIn, opts Options) (*candidates, error) {
 		}
 	}
 	// Default delta candidates: same-name matrices in consecutive snapshots.
+	// Shared names are sorted before pairing: pair order decides delta-edge
+	// insertion order, which must not replay map iteration order.
 	var pairs [][2]MatrixRef
 	for i := 1; i < len(snaps) && !opts.NoDefaultPairs; i++ {
 		prev, cur := snaps[i-1], snaps[i]
+		var shared []string
 		for name := range cur.Matrices {
 			if _, ok := prev.Matrices[name]; ok {
-				pairs = append(pairs, [2]MatrixRef{
-					{Snapshot: prev.ID, Name: name},
-					{Snapshot: cur.ID, Name: name},
-				})
+				shared = append(shared, name)
 			}
+		}
+		sort.Strings(shared)
+		for _, name := range shared {
+			pairs = append(pairs, [2]MatrixRef{
+				{Snapshot: prev.ID, Name: name},
+				{Snapshot: cur.ID, Name: name},
+			})
 		}
 	}
 	pairs = append(pairs, opts.ExtraPairs...)
