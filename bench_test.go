@@ -17,6 +17,7 @@ package modelhub
 //	End2End   -> BenchmarkLifecycleCommit, BenchmarkDQLSelect
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -402,8 +403,10 @@ func BenchmarkRetrievalSchemes(b *testing.B) {
 // BenchmarkObsOverhead proves the observability layer's disabled path is
 // near-free on the PAS retrieval hot path: "disabled" runs with the global
 // gate off (every metric op is one atomic load + branch), "enabled" with
-// full counters/histograms live. The disabled number must stay within noise
-// of the pre-obs baseline.
+// full counters/histograms live, and "tracing" with trace collection on
+// top — every retrieval becomes a root trace, published into the ring
+// collector. The disabled number must stay within noise of the pre-obs
+// baseline; tracing must stay within a few percent of enabled.
 func BenchmarkObsOverhead(b *testing.B) {
 	rng := rand.New(rand.NewSource(31))
 	base := map[string]*tensor.Matrix{}
@@ -429,21 +432,32 @@ func BenchmarkObsOverhead(b *testing.B) {
 		b.Fatal(err)
 	}
 	last := snaps[len(snaps)-1].ID
-	for _, mode := range []string{"disabled", "enabled"} {
+	for _, mode := range []string{"disabled", "enabled", "tracing"} {
 		b.Run(mode, func(b *testing.B) {
-			if mode == "enabled" {
+			switch mode {
+			case "enabled":
 				obs.Enable()
 				defer obs.Disable()
-			} else {
+			case "tracing":
+				obs.Enable()
+				obs.EnableTracing()
+				obs.SetTraceBufferSize(64)
+				defer func() {
+					obs.SetTraceBufferSize(obs.DefaultTraceBufferSize)
+					obs.DisableTracing()
+					obs.Disable()
+				}()
+			default:
 				obs.Disable()
 			}
 			st, err := pas.Open(dir)
 			if err != nil {
 				b.Fatal(err)
 			}
+			ctx := context.Background()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := st.GetSnapshot(last, 4, pas.Concurrent); err != nil {
+				if _, err := st.GetSnapshotCtx(ctx, last, 4, pas.Concurrent); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	dlv [-v] [-log-level debug|info|warn|error] <command> [flags]
+//	dlv [-v] [-log-level debug|info|warn|error] [-trace] <command> [flags]
 //
 //	dlv init
 //	dlv add     FILE...
@@ -23,6 +23,7 @@
 //	dlv publish -remote URL -name NAME [-timeout D] [-stall-timeout D] [-retries N]
 //	dlv search  -remote URL -q QUERY   [-timeout D] [-stall-timeout D] [-retries N]
 //	dlv pull    -remote URL -name NAME [-dest DIR] [-timeout D] [-stall-timeout D] [-retries N]
+//	dlv trace   -remote URL [last|TRACE_ID]
 //
 // All commands except init/pull operate on the repository in the current
 // directory (or -repo DIR).
@@ -56,6 +57,8 @@ func main() {
 	global := flag.NewFlagSet("dlv", flag.ExitOnError)
 	verbose := global.Bool("v", false, "log to stderr at info level")
 	logLevel := global.String("log-level", "", "log to stderr at this level (debug, info, warn, error)")
+	traceOn := global.Bool("trace", false,
+		"trace this invocation: record spans locally and export hub-command traces to the server's /debug/traces")
 	global.Usage = func() {
 		usage()
 		global.PrintDefaults()
@@ -69,6 +72,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dlv:", err)
 		os.Exit(2)
 	}
+	if *traceOn {
+		obs.Enable()
+		obs.EnableTracing()
+		obs.SetTraceSampler(1) // a one-shot CLI run always keeps its trace
+		obs.SetService("dlv")
+	}
 	cmd, args := global.Arg(0), global.Args()[1:]
 	if err := run(cmd, args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -80,7 +89,7 @@ func main() {
 }
 
 // globalFlagNames are the dlv-level flags that must precede the subcommand.
-var globalFlagNames = map[string]bool{"v": true, "log-level": true}
+var globalFlagNames = map[string]bool{"v": true, "log-level": true, "trace": true}
 
 // parseCmd parses a subcommand's flags and, instead of silently dropping
 // them (flag parsing stops at the first positional) or reporting a bare
@@ -128,8 +137,8 @@ func configureLogging(verbose bool, level string) error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: dlv [-v] [-log-level LEVEL] <command> [flags]
-commands: init add train copy list desc diff archive gc repack eval history plot query publish search pull`)
+	fmt.Fprintln(os.Stderr, `usage: dlv [-v] [-log-level LEVEL] [-trace] <command> [flags]
+commands: init add train copy list desc diff archive gc repack eval history plot query publish search pull trace`)
 }
 
 func run(cmd string, args []string) error {
@@ -662,6 +671,21 @@ func run(cmd string, args []string) error {
 		}
 		fmt.Printf("pulled %s into %s\n", *name, *dest)
 		return nil
+
+	case "trace":
+		fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+		remote := fs.String("remote", "", "hub server URL (required)")
+		if err := parseCmd(fs, args); err != nil {
+			return err
+		}
+		if *remote == "" {
+			return fmt.Errorf("trace: -remote is required")
+		}
+		sel := "last"
+		if fs.NArg() > 0 {
+			sel = fs.Arg(0)
+		}
+		return runTrace(*remote, sel)
 
 	default:
 		usage()

@@ -1,0 +1,161 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"modelhub/internal/obs"
+)
+
+// runTrace implements `dlv trace -remote URL [last|TRACE_ID]`: it fetches
+// the server's flight recorder (/debug/traces) and renders one trace as a
+// text waterfall — offsets, durations, parent/child indentation, per-span
+// service, attributes, and events. "last" (the default) selects the newest
+// collected trace.
+func runTrace(remote, sel string) error {
+	base := strings.TrimRight(remote, "/")
+	id := sel
+	if sel == "last" {
+		var err error
+		if id, err = newestTraceID(base); err != nil {
+			return err
+		}
+	}
+	var det obs.TraceDetail
+	if err := fetchJSON(base+"/debug/traces?id="+id, &det); err != nil {
+		return err
+	}
+	printWaterfall(det)
+	return nil
+}
+
+// newestTraceID asks the server for its trace list and returns the newest.
+func newestTraceID(base string) (string, error) {
+	var list struct {
+		Traces []obs.TraceSummary `json:"traces"`
+	}
+	if err := fetchJSON(base+"/debug/traces", &list); err != nil {
+		return "", err
+	}
+	if len(list.Traces) == 0 {
+		return "", fmt.Errorf("trace: the server has no collected traces (is it running with tracing on, and did a traced command run?)")
+	}
+	return list.Traces[0].ID, nil
+}
+
+func fetchJSON(url string, v any) error {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return fmt.Errorf("trace: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("trace: %s returned %d: %s", url, resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		return fmt.Errorf("trace: decoding %s: %v", url, err)
+	}
+	return nil
+}
+
+// printWaterfall renders the trace as an indented tree in start order, with
+// a proportional duration bar against the trace's total duration.
+func printWaterfall(det obs.TraceDetail) {
+	fmt.Printf("trace %s  root=%s  spans=%d  services=%v  duration=%s",
+		det.ID, det.Root, det.Spans, det.Services, time.Duration(det.DurationNS))
+	if det.Error {
+		fmt.Print("  ERROR")
+	}
+	fmt.Println()
+	// Index spans and group children under their parents.
+	children := map[string][]obs.SpanView{}
+	local := map[string]bool{}
+	for _, sv := range det.SpansDetail {
+		local[sv.SpanID] = true
+	}
+	var roots []obs.SpanView
+	for _, sv := range det.SpansDetail {
+		if sv.ParentID != "" && local[sv.ParentID] {
+			children[sv.ParentID] = append(children[sv.ParentID], sv)
+		} else {
+			roots = append(roots, sv)
+		}
+	}
+	byStart := func(s []obs.SpanView) {
+		sort.SliceStable(s, func(a, b int) bool { return s[a].OffsetNS < s[b].OffsetNS })
+	}
+	byStart(roots)
+	var walk func(sv obs.SpanView, depth int)
+	walk = func(sv obs.SpanView, depth int) {
+		printSpan(sv, depth, det.DurationNS)
+		kids := children[sv.SpanID]
+		byStart(kids)
+		for _, kid := range kids {
+			walk(kid, depth+1)
+		}
+	}
+	for _, root := range roots {
+		walk(root, 0)
+	}
+}
+
+// printSpan renders one waterfall row plus its attributes and events.
+func printSpan(sv obs.SpanView, depth int, totalNS int64) {
+	indent := strings.Repeat("  ", depth)
+	svc := ""
+	if sv.Service != "" {
+		svc = " (" + sv.Service + ")"
+	}
+	errMark := ""
+	if sv.Error {
+		errMark = "  ERROR"
+	}
+	fmt.Printf("%s%-*s  +%-10s %-10s %s%s%s\n",
+		indent, 24-2*depth, sv.Name,
+		time.Duration(sv.OffsetNS).Round(time.Microsecond),
+		time.Duration(sv.DurationNS).Round(time.Microsecond),
+		bar(sv.OffsetNS, sv.DurationNS, totalNS), svc, errMark)
+	for _, a := range sv.Attrs {
+		fmt.Printf("%s    %s=%s\n", indent, a.Key, a.Value)
+	}
+	for _, ev := range sv.Events {
+		fmt.Printf("%s    event %s", indent, ev.Name)
+		for _, a := range ev.Attrs {
+			// Stacks are multi-line; keep the row single-line readable.
+			v := a.Value
+			if i := strings.IndexByte(v, '\n'); i >= 0 {
+				v = v[:i] + "..."
+			}
+			fmt.Printf(" %s=%s", a.Key, v)
+		}
+		fmt.Println()
+	}
+}
+
+// bar renders a 32-column proportional bar: '.' before the span starts,
+// '=' while it runs.
+func bar(offset, duration, total int64) string {
+	const cols = 32
+	if total <= 0 {
+		return strings.Repeat("=", cols)
+	}
+	start := int(offset * cols / total)
+	end := int((offset + duration) * cols / total)
+	if start >= cols {
+		start = cols - 1
+	}
+	if end <= start {
+		end = start + 1
+	}
+	if end > cols {
+		end = cols
+	}
+	return strings.Repeat(".", start) + strings.Repeat("=", end-start) + strings.Repeat(".", cols-end)
+}

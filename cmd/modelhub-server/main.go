@@ -4,13 +4,17 @@
 //
 // Usage:
 //
-//	modelhub-server [-addr :8080] [-data DIR] [-metrics] [-v] [-log-level LEVEL]
-//	                [-drain-timeout D] [-flaky-pull-cut N]
+//	modelhub-server [-addr :8080] [-data DIR] [-metrics] [-trace-buffer N]
+//	                [-v] [-log-level LEVEL] [-drain-timeout D] [-flaky-pull-cut N]
 //
 // With -metrics, the live metrics registry is enabled and served as JSON at
-// /metrics (expvar-style flat keys), and the net/http/pprof profiling
-// handlers are mounted under /debug/pprof/. With -v (or -log-level), hub
-// request logs go to stderr via log/slog.
+// /metrics (expvar-style flat keys), the net/http/pprof profiling handlers
+// are mounted under /debug/pprof/, and distributed tracing is on: the
+// newest -trace-buffer traces (default 256; 0 disables tracing) are held in
+// the in-process flight recorder at /debug/traces, which also accepts
+// client-side trace exports on POST. With -v (or -log-level), hub request
+// logs go to stderr via log/slog, stamped with trace_id/span_id when made
+// under a traced request.
 //
 // On SIGTERM or SIGINT the server shuts down gracefully: the listener
 // closes immediately and in-flight requests get up to -drain-timeout to
@@ -43,6 +47,8 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	dataDir := flag.String("data", "modelhub-data", "directory for published repositories")
 	metrics := flag.Bool("metrics", false, "enable the metrics registry; serve /metrics and /debug/pprof/")
+	traceBuffer := flag.Int("trace-buffer", obs.DefaultTraceBufferSize,
+		"with -metrics: keep the newest N traces in the /debug/traces flight recorder (0 disables tracing)")
 	verbose := flag.Bool("v", false, "log requests to stderr at info level")
 	logLevel := flag.String("log-level", "", "log to stderr at this level (debug, info, warn, error)")
 	drain := flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
@@ -56,7 +62,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("modelhub-server: %v", err)
 	}
-	handler := newMux(srv, *metrics)
+	handler := newMux(srv, *metrics, *traceBuffer)
 	if *flakyCut > 0 {
 		log.Printf("modelhub-server: FAULT INJECTION: cutting full pull responses after %d bytes", *flakyCut)
 		handler = flakyPullCut(handler, *flakyCut)
@@ -107,12 +113,18 @@ func configureLogging(verbose bool, level string) error {
 }
 
 // newMux mounts the hub API and, when metrics is set, enables the obs
-// registry and adds the /metrics and /debug/pprof/ endpoints.
-func newMux(srv *hub.Server, metrics bool) http.Handler {
+// registry plus tracing and adds the /metrics and /debug/pprof/ endpoints
+// (/debug/traces is mounted by the hub handler itself).
+func newMux(srv *hub.Server, metrics bool, traceBuffer int) http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/", srv.Handler())
 	if metrics {
 		obs.Enable()
+		obs.SetService("modelhub-server")
+		if traceBuffer > 0 {
+			obs.EnableTracing()
+			obs.SetTraceBufferSize(traceBuffer)
+		}
 		mux.Handle("/metrics", obs.Handler())
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -13,6 +14,7 @@ import (
 	"modelhub/internal/dnn"
 	"modelhub/internal/dql"
 	"modelhub/internal/hub"
+	"modelhub/internal/obs"
 	"modelhub/internal/pas"
 	"modelhub/internal/zoo"
 )
@@ -85,8 +87,18 @@ type TrainOptions struct {
 
 // TrainAndCommit trains a zoo architecture on the synthetic digit task and
 // commits the resulting model version, returning its id — the create/update
-// + train/test + evaluate loop of the paper's Fig. 1 in one call.
-func (m *ModelHub) TrainAndCommit(name string, opts TrainOptions) (int64, error) {
+// + train/test + evaluate loop of the paper's Fig. 1 in one call. The whole
+// loop runs under one "core.train_and_commit" trace: parent checkout,
+// training epochs, and the commit are all child spans.
+func (m *ModelHub) TrainAndCommit(name string, opts TrainOptions) (id int64, err error) {
+	ctx, span := obs.Start(context.Background(), "core.train_and_commit")
+	span.SetAttr("core.model", name)
+	defer func() {
+		if err != nil {
+			span.SetError()
+		}
+		span.End()
+	}()
 	if opts.Arch == "" {
 		opts.Arch = "lenet"
 	}
@@ -114,8 +126,9 @@ func (m *ModelHub) TrainAndCommit(name string, opts TrainOptions) (int64, error)
 	if err != nil {
 		return 0, err
 	}
+	span.SetAttr("core.arch", opts.Arch)
 	if opts.ParentID != 0 {
-		parent, err := m.Repo.Weights(opts.ParentID, dlv.LatestSnap, 4)
+		parent, err := m.Repo.WeightsCtx(ctx, opts.ParentID, dlv.LatestSnap, 4)
 		if err != nil {
 			return 0, err
 		}
@@ -126,6 +139,7 @@ func (m *ModelHub) TrainAndCommit(name string, opts TrainOptions) (int64, error)
 		}
 	}
 	res, err := dnn.Train(net, train, dnn.TrainConfig{
+		Ctx:             ctx,
 		Epochs:          opts.Epochs,
 		BatchSize:       opts.BatchSize,
 		LR:              opts.LR,
@@ -137,7 +151,7 @@ func (m *ModelHub) TrainAndCommit(name string, opts TrainOptions) (int64, error)
 	if err != nil {
 		return 0, err
 	}
-	return m.Repo.Commit(dlv.CommitInput{
+	return m.Repo.CommitCtx(ctx, dlv.CommitInput{
 		Name:   name,
 		Msg:    opts.Msg,
 		NetDef: def,

@@ -1,6 +1,7 @@
 package dlv
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -46,7 +47,21 @@ type CommitInput struct {
 
 // Commit records a new model version and returns its id.
 func (r *Repo) Commit(in CommitInput) (int64, error) {
-	defer obs.StartRoot("dlv.commit").End()
+	return r.CommitCtx(context.Background(), in)
+}
+
+// CommitCtx is Commit under a caller-supplied context, so the commit span
+// joins the caller's trace instead of rooting its own.
+func (r *Repo) CommitCtx(ctx context.Context, in CommitInput) (id int64, err error) {
+	_, span := obs.Start(ctx, "dlv.commit")
+	span.SetAttr("dlv.model", in.Name)
+	defer func() {
+		if err != nil {
+			span.SetError()
+		}
+		span.SetAttrInt("dlv.version", id)
+		span.End()
+	}()
 	if in.Name == "" {
 		return 0, fmt.Errorf("%w: commit needs a model name", ErrRepo)
 	}
@@ -63,7 +78,7 @@ func (r *Repo) Commit(in CommitInput) (int64, error) {
 			return 0, fmt.Errorf("%w: parent version %d does not exist", ErrRepo, in.ParentID)
 		}
 	}
-	id, err := r.nextVersionID()
+	id, err = r.nextVersionID()
 	if err != nil {
 		return 0, err
 	}

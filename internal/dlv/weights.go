@@ -1,6 +1,7 @@
 package dlv
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -205,7 +206,21 @@ func (r *Repo) setArchive(store *pas.Store) {
 // selects the byte-plane resolution (4 = exact); raw (unarchived) snapshots
 // only support prefix 4.
 func (r *Repo) Weights(versionID int64, snap string, prefix int) (map[string]*tensor.Matrix, error) {
-	defer obs.StartRoot("dlv.checkout").End()
+	return r.WeightsCtx(context.Background(), versionID, snap, prefix)
+}
+
+// WeightsCtx is Weights under a caller-supplied context, so the checkout
+// span joins the caller's trace instead of rooting its own.
+func (r *Repo) WeightsCtx(ctx context.Context, versionID int64, snap string, prefix int) (out map[string]*tensor.Matrix, err error) {
+	ctx, span := obs.Start(ctx, "dlv.checkout")
+	span.SetAttrInt("dlv.version", versionID)
+	span.SetAttrInt("dlv.prefix", int64(prefix))
+	defer func() {
+		if err != nil {
+			span.SetError()
+		}
+		span.End()
+	}()
 	v, err := r.Version(versionID)
 	if err != nil {
 		return nil, err
@@ -215,7 +230,7 @@ func (r *Repo) Weights(versionID int64, snap string, prefix int) (map[string]*te
 		if err != nil {
 			return nil, err
 		}
-		return store.GetSnapshot(pasSnapID(versionID, snap), prefix, pas.Concurrent)
+		return store.GetSnapshotCtx(ctx, pasSnapID(versionID, snap), prefix, pas.Concurrent)
 	}
 	if prefix != 4 {
 		return nil, fmt.Errorf("%w: version %d is not archived; only full-precision weights available", ErrRepo, versionID)

@@ -1,11 +1,14 @@
 package dnn
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"strconv"
 	"sync"
 	"time"
 
+	"modelhub/internal/obs"
 	"modelhub/internal/tensor"
 )
 
@@ -50,6 +53,10 @@ type EpochStats struct {
 
 // TrainConfig drives Train. Zero values get sensible defaults.
 type TrainConfig struct {
+	// Ctx, when non-nil, parents the run's "dnn.train" span, so training
+	// joins the caller's trace (a DQL candidate, a core commit). Nil means
+	// the span is a root of its own trace.
+	Ctx             context.Context
 	Epochs          int
 	BatchSize       int
 	LR              float64
@@ -108,12 +115,21 @@ func Train(n *Network, examples []Example, cfg TrainConfig) (*TrainResult, error
 			cfg.Epochs = need
 		}
 	}
+	ctx := cfg.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	_, span := obs.Start(ctx, "dnn.train")
+	defer span.End()
+	span.SetAttrInt("dnn.examples", int64(len(examples)))
+	span.SetAttrInt("dnn.batch_size", int64(cfg.BatchSize))
+	span.SetAttrInt("dnn.epochs", int64(cfg.Epochs))
 epochs:
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		var epochStart time.Time
 		var epochLoss float64
 		var epochCorrect, epochSeen int
-		if cfg.EpochHook != nil {
+		if cfg.EpochHook != nil || span != nil {
 			epochStart = time.Now()
 		}
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
@@ -150,28 +166,39 @@ epochs:
 				res.Checkpoints = append(res.Checkpoints, Checkpoint{Iter: iter, Weights: n.Snapshot()})
 			}
 			if cfg.MaxIters > 0 && iter >= cfg.MaxIters {
-				callEpochHook(cfg, epoch, epochLoss, epochCorrect, epochSeen, epochStart)
+				callEpochHook(cfg, span, epoch, epochLoss, epochCorrect, epochSeen, epochStart)
 				break epochs
 			}
 		}
-		callEpochHook(cfg, epoch, epochLoss, epochCorrect, epochSeen, epochStart)
+		callEpochHook(cfg, span, epoch, epochLoss, epochCorrect, epochSeen, epochStart)
 	}
+	span.SetAttrInt("dnn.iters", int64(iter))
 	res.Final = n.Snapshot()
 	return res, nil
 }
 
-// callEpochHook delivers one epoch summary to cfg.EpochHook, if any.
-func callEpochHook(cfg TrainConfig, epoch int, loss float64, correct, seen int, start time.Time) {
-	if cfg.EpochHook == nil || seen == 0 {
+// callEpochHook delivers one epoch summary to cfg.EpochHook and, when the
+// run is traced, records the epoch as a span event on the training span.
+func callEpochHook(cfg TrainConfig, span *obs.Span, epoch int, loss float64, correct, seen int, start time.Time) {
+	if seen == 0 {
 		return
 	}
-	cfg.EpochHook(EpochStats{
+	stats := EpochStats{
 		Epoch:    epoch,
 		Loss:     loss / float64(seen),
 		Accuracy: float64(correct) / float64(seen),
 		Examples: seen,
 		Duration: time.Since(start),
-	})
+	}
+	span.Event("epoch",
+		obs.Attr{Key: "epoch", Value: strconv.Itoa(stats.Epoch)},
+		obs.Attr{Key: "loss", Value: strconv.FormatFloat(stats.Loss, 'g', 6, 64)},
+		obs.Attr{Key: "accuracy", Value: strconv.FormatFloat(stats.Accuracy, 'g', 6, 64)},
+		obs.Attr{Key: "examples", Value: strconv.Itoa(stats.Examples)},
+		obs.Attr{Key: "duration_ns", Value: strconv.FormatInt(stats.Duration.Nanoseconds(), 10)})
+	if cfg.EpochHook != nil {
+		cfg.EpochHook(stats)
+	}
 }
 
 // Evaluate returns the classification accuracy of n over the examples.

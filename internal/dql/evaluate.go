@@ -1,14 +1,17 @@
 package dql
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
 	"math/rand"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"modelhub/internal/data"
 	"modelhub/internal/dnn"
@@ -67,8 +70,15 @@ var autoGrids = map[string][]Value{
 // execEvaluate implements Query 4: enumerate (model, hyperparameter)
 // combinations, train each for the keep clause's iteration budget, and keep
 // the survivors.
-func (e *Engine) execEvaluate(s *EvaluateStmt) ([]Candidate, error) {
-	defer obs.StartRoot("dql.evaluate").End()
+func (e *Engine) execEvaluate(s *EvaluateStmt) (kept []Candidate, err error) {
+	ctx, span := obs.Start(context.Background(), "dql.evaluate")
+	defer func() {
+		if err != nil {
+			span.SetError()
+		}
+		span.SetAttrInt("dql.kept", int64(len(kept)))
+		span.End()
+	}()
 	defs, err := e.candidateDefs(s)
 	if err != nil {
 		return nil, err
@@ -111,10 +121,11 @@ func (e *Engine) execEvaluate(s *EvaluateStmt) ([]Candidate, error) {
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
+	span.SetAttrInt("dql.grid_size", int64(len(jobs)))
 	if workers <= 1 {
 		for i, j := range jobs {
 			jobStart := obsNow()
-			cand, err := e.trainCandidate(j.def, j.cfg, s.Keep.Iters)
+			cand, err := e.traceCandidate(ctx, i, j.def, j.cfg, s.Keep.Iters, 0)
 			if err != nil {
 				return nil, err
 			}
@@ -146,8 +157,12 @@ func (e *Engine) execEvaluate(s *EvaluateStmt) ([]Candidate, error) {
 				default:
 				}
 				observeQueueWait(poolStart)
+				var queueWait time.Duration
+				if !poolStart.IsZero() {
+					queueWait = time.Since(poolStart)
+				}
 				jobStart := obsNow()
-				cand, err := e.trainCandidate(jobs[i].def, jobs[i].cfg, s.Keep.Iters)
+				cand, err := e.traceCandidate(ctx, i, jobs[i].def, jobs[i].cfg, s.Keep.Iters, queueWait)
 				if err != nil {
 					errOnce.Do(func() {
 						firstErr = err
@@ -263,9 +278,31 @@ func assignConfig(cfg *EvalConfig, vc VaryClause, val Value) error {
 	return nil
 }
 
+// traceCandidate runs trainCandidate under a per-candidate child span of
+// the evaluate trace, carrying the grid index, model name, queue wait, and
+// resulting loss/accuracy. The span ends on every path, including errors.
+func (e *Engine) traceCandidate(ctx context.Context, idx int, def *dnn.NetDef, cfg EvalConfig,
+	iters int, queueWait time.Duration) (Candidate, error) {
+	ctx, cspan := obs.Start(ctx, "dql.candidate")
+	cspan.SetAttrInt("dql.candidate", int64(idx))
+	cspan.SetAttr("dql.model", def.Name)
+	if queueWait > 0 {
+		cspan.SetAttrInt("dql.queue_wait_ns", queueWait.Nanoseconds())
+	}
+	cand, err := e.trainCandidate(ctx, def, cfg, iters)
+	if err != nil {
+		cspan.SetError()
+	} else {
+		cspan.SetAttr("dql.loss", strconv.FormatFloat(cand.Loss, 'g', 6, 64))
+		cspan.SetAttr("dql.acc", strconv.FormatFloat(cand.Acc, 'g', 6, 64))
+	}
+	cspan.End()
+	return cand, err
+}
+
 // trainCandidate trains one (model, config) pair for the iteration budget
 // and measures its loss and held-out accuracy.
-func (e *Engine) trainCandidate(def *dnn.NetDef, cfg EvalConfig, iters int) (Candidate, error) {
+func (e *Engine) trainCandidate(ctx context.Context, def *dnn.NetDef, cfg EvalConfig, iters int) (Candidate, error) {
 	examples, ok := e.datasets[cfg.InputData]
 	if !ok {
 		return Candidate{}, fmt.Errorf("%w: unknown dataset %q (register it on the engine)", ErrQuery, cfg.InputData)
@@ -284,6 +321,7 @@ func (e *Engine) trainCandidate(def *dnn.NetDef, cfg EvalConfig, iters int) (Can
 		return Candidate{}, err
 	}
 	res, err := dnn.Train(net, train, dnn.TrainConfig{
+		Ctx:       ctx,
 		Epochs:    1,
 		BatchSize: cfg.Batch,
 		LR:        cfg.BaseLR,

@@ -1,6 +1,7 @@
 package hub
 
 import (
+	"bytes"
 	"context"
 	"crypto/sha256"
 	"encoding/json"
@@ -13,6 +14,9 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
+
+	"modelhub/internal/obs"
 )
 
 // Client talks to a ModelHub server. Transfers are crash- and
@@ -50,7 +54,10 @@ func (c *Client) httpClient() *http.Client {
 // (dlv publish). The archive is packed to a temp file and hashed, the hash
 // travels in DigestHeader, and the server rejects any upload whose streamed
 // bytes do not match — a cut upload can never become visible server state.
-func (c *Client) Publish(root, name string) error {
+func (c *Client) Publish(root, name string) (err error) {
+	rctx, span := obs.Start(context.Background(), "hub.client.publish")
+	span.SetAttr("hub.name", name)
+	defer func() { c.endAndExport(span, err) }()
 	opts := c.Opts.withDefaults()
 	tmp, err := os.CreateTemp("", "dlv-publish-*.tar.gz")
 	if err != nil {
@@ -74,8 +81,9 @@ func (c *Client) Publish(root, name string) error {
 		return fmt.Errorf("%w: publish: %v", ErrHub, err)
 	}
 	digest := digestString(h.Sum(nil))
+	span.SetAttrInt("hub.archive_bytes", size)
 
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(rctx)
 	defer cancel()
 	body := newStallReader(tmp, cancel, opts.StallTimeout)
 	defer body.stop()
@@ -87,6 +95,7 @@ func (c *Client) Publish(root, name string) error {
 	req.ContentLength = size
 	req.Header.Set("Content-Type", "application/gzip")
 	req.Header.Set(DigestHeader, digest)
+	span.Inject(req.Header)
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return fmt.Errorf("%w: publish: %v", ErrHub, err)
@@ -102,37 +111,55 @@ func (c *Client) Publish(root, name string) error {
 
 // Search queries the server for repositories matching q (dlv search).
 // Transient failures (connection errors, cut responses, 5xx) are retried
-// with backoff under a per-attempt timeout.
-func (c *Client) Search(q string) ([]RepoInfo, error) {
+// with backoff under a per-attempt timeout; each attempt is a child span of
+// one search trace.
+func (c *Client) Search(q string) (out []RepoInfo, err error) {
+	rctx, span := obs.Start(context.Background(), "hub.client.search")
+	span.SetAttr("hub.query", q)
+	defer func() { c.endAndExport(span, err) }()
 	opts := c.Opts.withDefaults()
 	u := fmt.Sprintf("%s/api/search?q=%s", c.Base, url.QueryEscape(q))
-	var out []RepoInfo
-	err := retry(context.Background(), opts, func(ctx context.Context) error {
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
-		if err != nil {
-			return fmt.Errorf("%w: search: %v", ErrHub, err)
+	attempt := 0
+	err = retry(rctx, opts, func(ctx context.Context) error {
+		attempt++
+		ctx, aspan := obs.Start(ctx, "hub.client.search.attempt")
+		aspan.SetAttrInt("hub.attempt", int64(attempt))
+		aerr := c.searchAttempt(ctx, u, &out)
+		if aerr != nil {
+			aspan.SetError()
 		}
-		resp, err := c.httpClient().Do(req)
-		if err != nil {
-			return transientf("search: %v", err)
-		}
-		defer resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			if resp.StatusCode >= 500 {
-				return transientf("search failed (%d)", resp.StatusCode)
-			}
-			return fmt.Errorf("%w: search failed (%d)", ErrHub, resp.StatusCode)
-		}
-		out = nil // a retried attempt must not append to a torn first decode
-		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-			return transientf("search response: %v", err)
-		}
-		return nil
+		aspan.End()
+		return aerr
 	})
 	if err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+// searchAttempt performs one search GET, decoding into *out.
+func (c *Client) searchAttempt(ctx context.Context, u string, out *[]RepoInfo) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return fmt.Errorf("%w: search: %v", ErrHub, err)
+	}
+	obs.FromContext(ctx).Inject(req.Header)
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return transientf("search: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		if resp.StatusCode >= 500 {
+			return transientf("search failed (%d)", resp.StatusCode)
+		}
+		return fmt.Errorf("%w: search failed (%d)", ErrHub, resp.StatusCode)
+	}
+	*out = nil // a retried attempt must not append to a torn first decode
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return transientf("search response: %v", err)
+	}
+	return nil
 }
 
 // Pull downloads a published repository into destRoot (dlv pull). destRoot
@@ -142,7 +169,10 @@ func (c *Client) Search(q string) ([]RepoInfo, error) {
 // staging directory, and promoted into destRoot with one atomic rename —
 // a failed or interrupted pull leaves destRoot untouched, so a retry
 // always starts clean.
-func (c *Client) Pull(name, destRoot string) error {
+func (c *Client) Pull(name, destRoot string) (err error) {
+	rctx, span := obs.Start(context.Background(), "hub.client.pull")
+	span.SetAttr("hub.name", name)
+	defer func() { c.endAndExport(span, err) }()
 	dest := filepath.Join(destRoot, ".dlv")
 	if _, err := os.Stat(dest); err == nil {
 		return fmt.Errorf("%w: destination already contains a repository", ErrHub)
@@ -160,7 +190,7 @@ func (c *Client) Pull(name, destRoot string) error {
 		//mhlint:ignore errcheck best-effort temp cleanup after the pull outcome is decided
 		_ = os.Remove(arch.Name())
 	}()
-	if err := c.download(context.Background(), name, arch); err != nil {
+	if err := c.download(rctx, name, arch); err != nil {
 		return err
 	}
 	if _, err := arch.Seek(0, io.SeekStart); err != nil {
@@ -204,7 +234,15 @@ func (c *Client) download(ctx context.Context, name string, f *os.File) error {
 	var expected string // digest pinned from the first response
 	attempt := 0
 	for {
-		err := c.pullAttempt(ctx, opts, name, f, h, &written, &expected)
+		actx, aspan := obs.Start(ctx, "hub.client.pull.attempt")
+		aspan.SetAttrInt("hub.attempt", int64(attempt+1))
+		aspan.SetAttrInt("hub.resume_offset", written)
+		err := c.pullAttempt(actx, opts, name, f, h, &written, &expected)
+		aspan.SetAttrInt("hub.bytes_written", written)
+		if err != nil {
+			aspan.SetError()
+		}
+		aspan.End()
 		if err == nil {
 			got := digestString(h.Sum(nil))
 			if expected == "" || got == expected {
@@ -241,6 +279,7 @@ func (c *Client) pullAttempt(ctx context.Context, opts Options, name string, f *
 	if err != nil {
 		return fmt.Errorf("%w: pull: %v", ErrHub, err)
 	}
+	obs.FromContext(actx).Inject(req.Header)
 	resuming := *written > 0
 	if resuming {
 		req.Header.Set("Range", fmt.Sprintf("bytes=%d-", *written))
@@ -313,6 +352,54 @@ func resetDownload(f *os.File, h hash.Hash, written *int64) error {
 	h.Reset()
 	*written = 0
 	return nil
+}
+
+// endAndExport finishes a client operation's root span, marking it failed
+// when err is non-nil, and — if the trace was kept by the sampling policy —
+// exports the client-side span records to the server's flight recorder so
+// both halves of the distributed trace are visible at one /debug/traces.
+func (c *Client) endAndExport(span *obs.Span, err error) {
+	if span == nil {
+		return
+	}
+	if err != nil {
+		span.SetError()
+	}
+	tid := span.TraceID()
+	span.End()
+	c.exportTrace(tid)
+}
+
+// exportTrace POSTs the locally collected records of one trace to the
+// server's /debug/traces ingest endpoint. Best-effort: telemetry delivery
+// must never fail an operation, so errors are only debug-logged.
+func (c *Client) exportTrace(tid obs.TraceID) {
+	if tid.IsZero() {
+		return
+	}
+	records, ok := obs.TraceRecords(tid)
+	if !ok {
+		return
+	}
+	blob, err := json.Marshal(records)
+	if err != nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/debug/traces", bytes.NewReader(blob))
+	if err != nil {
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		obs.Logger().Debug("trace export failed", "err", err)
+		return
+	}
+	defer resp.Body.Close()
+	//mhlint:ignore errcheck best-effort drain so the connection can be reused
+	_, _ = io.Copy(io.Discard, resp.Body)
 }
 
 // parseContentRangeStart extracts the first byte offset of a

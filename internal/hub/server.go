@@ -261,6 +261,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/api/publish", s.handlePublish)
 	mux.HandleFunc("/api/search", s.handleSearch)
 	mux.HandleFunc("/api/pull", s.handlePull)
+	// The flight recorder rides the API mux so every deployment (and every
+	// httptest server in the suite) serves GET /debug/traces and accepts
+	// client-side trace exports on POST. WrapHandler excludes /debug/ paths
+	// from tracing, so scraping it cannot fill the ring with itself.
+	mux.Handle("/debug/traces", obs.TracesHandler())
 	return obs.WrapHandler(mux, obs.MiddlewareOptions{
 		Prefix:    "hub.http",
 		PanicBody: ErrHub.Error() + ": internal server error",

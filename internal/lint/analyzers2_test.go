@@ -83,8 +83,35 @@ import "context"
 // Span is a stub of the obs span.
 type Span struct{ name string }
 
+// TraceID is a stub trace identifier.
+type TraceID [16]byte
+
+// SpanID is a stub span identifier.
+type SpanID [8]byte
+
+// Attr is a stub span attribute.
+type Attr struct{ Key, Value string }
+
 // End closes the span.
 func (s *Span) End() {}
+
+// SetAttr annotates the span.
+func (s *Span) SetAttr(k, v string) {}
+
+// SetAttrInt annotates the span with an integer.
+func (s *Span) SetAttrInt(k string, v int64) {}
+
+// Event records a point-in-time event on the span.
+func (s *Span) Event(name string, attrs ...Attr) {}
+
+// SetError marks the span failed.
+func (s *Span) SetError() {}
+
+// TraceID returns the span's trace ID.
+func (s *Span) TraceID() TraceID { return TraceID{} }
+
+// SpanID returns the span's ID.
+func (s *Span) SpanID() SpanID { return SpanID{} }
 
 // Start opens a child span.
 func Start(ctx context.Context, name string) (context.Context, *Span) {
@@ -93,6 +120,11 @@ func Start(ctx context.Context, name string) (context.Context, *Span) {
 
 // StartRoot opens a root span.
 func StartRoot(name string) *Span { return &Span{name: name} }
+
+// StartRemote continues a trace started in another process.
+func StartRemote(ctx context.Context, name string, tid TraceID, parent SpanID, sampled bool) (context.Context, *Span) {
+	return ctx, &Span{name: name}
+}
 `
 
 func runSpanendFixture(t *testing.T, src string) Result {
@@ -183,6 +215,74 @@ func Closure() func() {
 }
 `)
 	wantFindings(t, res, nil, 0)
+}
+
+func TestSpanendAnnotatedSpanStillNeedsEnd(t *testing.T) {
+	// Annotation methods must not count as an escape: a span that is
+	// decorated with attributes and events but never Ended is still leaked.
+	res := runSpanendFixture(t, `package fix
+
+import (
+	"context"
+	"errors"
+
+	"modelhub/internal/obs"
+)
+
+func Work(ctx context.Context, fail bool) error {
+	ctx, span := obs.Start(ctx, "work")
+	_ = ctx
+	span.SetAttr("k", "v")
+	span.SetAttrInt("n", 1)
+	span.Event("step", obs.Attr{Key: "a", Value: "b"})
+	if fail {
+		span.SetError()
+		return errors.New("early") // annotated but not ended
+	}
+	span.End()
+	return nil
+}
+`)
+	wantFindings(t, res, []string{"span span may reach a return without End()"}, 0)
+}
+
+func TestSpanendAnnotatedWithDeferIsClean(t *testing.T) {
+	res := runSpanendFixture(t, `package fix
+
+import (
+	"context"
+
+	"modelhub/internal/obs"
+)
+
+func Work(ctx context.Context) {
+	ctx, span := obs.Start(ctx, "work")
+	defer span.End()
+	_ = ctx
+	span.SetAttr("k", "v")
+	_ = span.TraceID()
+	_ = span.SpanID()
+}
+`)
+	wantFindings(t, res, nil, 0)
+}
+
+func TestSpanendStartRemoteTracked(t *testing.T) {
+	res := runSpanendFixture(t, `package fix
+
+import (
+	"context"
+
+	"modelhub/internal/obs"
+)
+
+func Handle(ctx context.Context, tid obs.TraceID, parent obs.SpanID) {
+	ctx, span := obs.StartRemote(ctx, "req", tid, parent, true)
+	_ = ctx
+	span.SetAttr("http.method", "GET")
+}
+`)
+	wantFindings(t, res, []string{"span span may reach a return without End()"}, 0)
 }
 
 func TestSpanendSuppressed(t *testing.T) {

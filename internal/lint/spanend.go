@@ -19,6 +19,11 @@ import (
 // returning it, storing it, capturing it in a closure — is treated as an
 // ownership transfer and conservatively kills too. A fact that survives to
 // the synthetic exit block means some path returns without End.
+//
+// Annotation methods (SetAttr, Event, SetError, ...) are neutral: they
+// read or decorate the span without ending it, so calling them neither
+// kills the fact nor counts as an escape — a span that is annotated but
+// never Ended is still reported.
 var analyzerSpanend = &Analyzer{
 	Name: "spanend",
 	Doc:  "obs spans started without an End on every return path",
@@ -61,6 +66,8 @@ func checkSpanBody(pass *Pass, obsPath string, body *ast.BlockStmt) {
 			spanIdx = 1 // (ctx, span)
 		case obsPath + ".StartRoot":
 			spanIdx = 0
+		case obsPath + ".StartRemote":
+			spanIdx = 1 // (ctx, span), continuing a remote trace
 		default:
 			return
 		}
@@ -89,11 +96,21 @@ func checkSpanBody(pass *Pass, obsPath string, body *ast.BlockStmt) {
 	}
 }
 
+// spanNeutralMethods are Span methods that read or annotate a live span
+// without ending it. Calling one on a tracked span keeps the must-End
+// obligation in force (and is not an ownership transfer).
+var spanNeutralMethods = map[string]bool{
+	"SetAttr": true, "SetAttrInt": true, "Event": true, "SetError": true,
+	"Name": true, "TraceID": true, "SpanID": true, "Inject": true,
+}
+
 // applySpanEffects walks one CFG node applying span gen/kill:
 //
-//	gen:  the recorded starting assignment
-//	kill: <span>.End() (called directly, deferred, or value-used), or any
-//	      other appearance of the span variable (escape)
+//	gen:     the recorded starting assignment
+//	kill:    <span>.End() (called directly, deferred, or value-used), or
+//	         any non-neutral appearance of the span variable (escape)
+//	neutral: annotation calls (<span>.SetAttr(...) etc.) — the fact
+//	         survives, but their arguments are still inspected
 func applySpanEffects(info *types.Info, n ast.Node, starts map[types.Object]spanStart, facts objSet) {
 	isStartAssign := func(x ast.Node) (types.Object, bool) {
 		for obj, s := range starts {
@@ -103,7 +120,21 @@ func applySpanEffects(info *types.Info, n ast.Node, starts map[types.Object]span
 		}
 		return nil, false
 	}
-	ast.Inspect(n, func(x ast.Node) bool {
+	// trackedRecv reports whether sel.X is a span variable under analysis.
+	trackedRecv := func(sel *ast.SelectorExpr) bool {
+		id := identFor(sel.X)
+		if id == nil {
+			return false
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			return false
+		}
+		_, tracked := starts[obj]
+		return tracked
+	}
+	var visit func(x ast.Node) bool
+	visit = func(x ast.Node) bool {
 		switch x := x.(type) {
 		case *ast.FuncLit:
 			// Closure capture transfers ownership: conservatively ended.
@@ -119,14 +150,20 @@ func applySpanEffects(info *types.Info, n ast.Node, starts map[types.Object]span
 				return false // the defining assign is not an escape
 			}
 		case *ast.CallExpr:
-			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "End" {
-				if id := identFor(sel.X); id != nil {
-					if obj := info.Uses[id]; obj != nil {
-						if _, tracked := starts[obj]; tracked {
-							delete(facts, obj)
-							return false // the End receiver is not an escape
-						}
+			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok && trackedRecv(sel) {
+				switch {
+				case sel.Sel.Name == "End":
+					if id := identFor(sel.X); id != nil {
+						delete(facts, info.Uses[id])
 					}
+					return false // the End receiver is not an escape
+				case spanNeutralMethods[sel.Sel.Name]:
+					// Annotation: skip the receiver ident (not an escape)
+					// but look inside the arguments normally.
+					for _, arg := range x.Args {
+						ast.Inspect(arg, visit)
+					}
+					return false
 				}
 			}
 		case *ast.Ident:
@@ -137,7 +174,8 @@ func applySpanEffects(info *types.Info, n ast.Node, starts map[types.Object]span
 			}
 		}
 		return true
-	})
+	}
+	ast.Inspect(n, visit)
 }
 
 // inspectSkippingFuncLits visits every node of the body except subtrees of

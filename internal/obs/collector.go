@@ -1,0 +1,338 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// The trace collector is a bounded ring buffer of completed traces (the
+// flight recorder): slots are atomic pointers, so /debug/traces readers
+// never take a lock and never block a publisher; publication find-or-insert
+// is serialized by one small mutex well off any request hot path (it runs
+// once per completed trace, not per span). When the ring wraps, the oldest
+// trace is overwritten — the newest N traces are always retrievable.
+
+// DefaultTraceBufferSize is the ring capacity a process starts with.
+const DefaultTraceBufferSize = 256
+
+// TraceData is one collected trace: the merged span records of every
+// process that contributed to the trace ID. Merging dedupes on span ID, so
+// a record that arrives twice (an in-process client exporting to its own
+// collector, a retried export) is stored once.
+type TraceData struct {
+	id string
+
+	mu      sync.Mutex
+	records []SpanRecord
+	seen    map[string]bool // span IDs already merged
+}
+
+// traceRing is the bounded collector. cursor claims slots monotonically;
+// slot i holds the (cursor≡i mod len)-th most recent publication.
+type traceRing struct {
+	slots  []atomic.Pointer[TraceData]
+	cursor atomic.Uint64
+	// pubMu serializes find-or-insert so concurrent publications of one
+	// trace ID merge instead of claiming duplicate slots.
+	pubMu sync.Mutex
+}
+
+func newTraceRing(n int) *traceRing {
+	if n < 1 {
+		n = 1
+	}
+	return &traceRing{slots: make([]atomic.Pointer[TraceData], n)}
+}
+
+// traceBuffer wraps the swappable ring so SetTraceBufferSize can replace
+// the whole collector atomically.
+type traceBuffer struct {
+	ring atomic.Pointer[traceRing]
+}
+
+// defaultTraceBuffer is the process-wide collector behind Traces,
+// TraceRecords, IngestSpans, and TracesHandler.
+var defaultTraceBuffer traceBuffer
+
+func init() {
+	defaultTraceBuffer.ring.Store(newTraceRing(DefaultTraceBufferSize))
+}
+
+// SetTraceBufferSize resizes the trace collector to hold the newest n
+// traces. Resizing installs a fresh, empty ring; previously collected
+// traces are discarded. n < 1 resets to DefaultTraceBufferSize.
+func SetTraceBufferSize(n int) {
+	if n < 1 {
+		n = DefaultTraceBufferSize
+	}
+	defaultTraceBuffer.ring.Store(newTraceRing(n))
+}
+
+// find returns the collected trace with the given ID, scanning the ring
+// lock-free.
+func (b *traceBuffer) find(id string) *TraceData {
+	r := b.ring.Load()
+	for i := range r.slots {
+		if td := r.slots[i].Load(); td != nil && td.id == id {
+			return td
+		}
+	}
+	return nil
+}
+
+// publish merges records into the trace with the given ID, creating (and
+// possibly evicting the oldest trace for) a ring slot when the ID is new.
+func (b *traceBuffer) publish(id string, records []SpanRecord) {
+	if len(records) == 0 {
+		return
+	}
+	r := b.ring.Load()
+	r.pubMu.Lock()
+	var td *TraceData
+	for i := range r.slots {
+		if cur := r.slots[i].Load(); cur != nil && cur.id == id {
+			td = cur
+			break
+		}
+	}
+	if td == nil {
+		td = &TraceData{id: id}
+		slot := (r.cursor.Add(1) - 1) % uint64(len(r.slots))
+		r.slots[slot].Store(td)
+	}
+	r.pubMu.Unlock()
+	td.mu.Lock()
+	if td.seen == nil {
+		td.seen = make(map[string]bool, len(records))
+	}
+	for _, rec := range records {
+		// maxCollectedSpans bounds the merged trace the same way
+		// maxTraceSpans bounds a single process's accumulator.
+		if td.seen[rec.SpanID] || len(td.records) >= maxCollectedSpans {
+			continue
+		}
+		td.seen[rec.SpanID] = true
+		td.records = append(td.records, rec)
+	}
+	td.mu.Unlock()
+}
+
+// maxCollectedSpans caps one merged trace in the collector: several
+// processes can each contribute up to maxTraceSpans records.
+const maxCollectedSpans = 4 * maxTraceSpans
+
+// IngestSpans merges externally produced span records (another process's
+// exported trace) into the collector, grouped by trace ID. Records without
+// a trace ID are dropped. No-op while tracing is disabled.
+func IngestSpans(records []SpanRecord) {
+	if !TracingEnabled() {
+		return
+	}
+	byTrace := map[string][]SpanRecord{}
+	var order []string
+	for _, rec := range records {
+		if rec.TraceID == "" || rec.SpanID == "" {
+			continue
+		}
+		if _, ok := byTrace[rec.TraceID]; !ok {
+			order = append(order, rec.TraceID)
+		}
+		byTrace[rec.TraceID] = append(byTrace[rec.TraceID], rec)
+	}
+	for _, id := range order {
+		recs := byTrace[id]
+		defaultTraceBuffer.publish(id, recs)
+		mTracesIngested.Add(int64(len(recs)))
+	}
+}
+
+// TraceSummary is the list-view form of one collected trace.
+type TraceSummary struct {
+	ID            string   `json:"id"`
+	Root          string   `json:"root"`
+	StartUnixNano int64    `json:"start_unix_nano"`
+	DurationNS    int64    `json:"duration_ns"`
+	Spans         int      `json:"spans"`
+	Services      []string `json:"services"`
+	Error         bool     `json:"error"`
+}
+
+// snapshotRecords copies the trace's records under its lock.
+func (td *TraceData) snapshotRecords() []SpanRecord {
+	td.mu.Lock()
+	defer td.mu.Unlock()
+	out := make([]SpanRecord, len(td.records))
+	copy(out, td.records)
+	return out
+}
+
+// summarize folds a trace's records into its list-view summary: the root is
+// the span with no (or an unresolved, i.e. remote) parent that starts
+// earliest; duration spans first start to last end.
+func summarize(id string, records []SpanRecord) TraceSummary {
+	s := TraceSummary{ID: id, Spans: len(records)}
+	local := map[string]bool{}
+	for _, rec := range records {
+		local[rec.SpanID] = true
+	}
+	var minStart, maxEnd int64
+	seenSvc := map[string]bool{}
+	for _, rec := range records {
+		if minStart == 0 || rec.StartUnixNano < minStart {
+			minStart = rec.StartUnixNano
+		}
+		if end := rec.StartUnixNano + rec.DurationNS; end > maxEnd {
+			maxEnd = end
+		}
+		if rec.Error {
+			s.Error = true
+		}
+		if rec.Service != "" && !seenSvc[rec.Service] {
+			seenSvc[rec.Service] = true
+			s.Services = append(s.Services, rec.Service)
+		}
+		isRoot := rec.ParentID == "" || !local[rec.ParentID]
+		if isRoot && (s.Root == "" || rec.StartUnixNano == minStart) {
+			s.Root = rec.Name
+		}
+	}
+	sort.Strings(s.Services)
+	s.StartUnixNano = minStart
+	s.DurationNS = maxEnd - minStart
+	return s
+}
+
+// Traces lists the collected traces, newest first.
+func Traces() []TraceSummary {
+	r := defaultTraceBuffer.ring.Load()
+	var out []TraceSummary
+	for i := range r.slots {
+		td := r.slots[i].Load()
+		if td == nil {
+			continue
+		}
+		out = append(out, summarize(td.id, td.snapshotRecords()))
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].StartUnixNano > out[b].StartUnixNano })
+	return out
+}
+
+// TraceRecords returns the collected span records of one trace ID.
+func TraceRecords(id TraceID) ([]SpanRecord, bool) {
+	return TraceRecordsByString(id.String())
+}
+
+// TraceRecordsByString is TraceRecords keyed by the hex form.
+func TraceRecordsByString(id string) ([]SpanRecord, bool) {
+	td := defaultTraceBuffer.find(id)
+	if td == nil {
+		return nil, false
+	}
+	return td.snapshotRecords(), true
+}
+
+// SpanView is one span in the waterfall detail payload: the record plus its
+// start offset from the trace start, so a client renders bars directly.
+type SpanView struct {
+	SpanRecord
+	OffsetNS int64 `json:"offset_ns"`
+}
+
+// TraceDetail is the fetch-by-ID payload of /debug/traces.
+type TraceDetail struct {
+	TraceSummary
+	SpansDetail []SpanView `json:"spans_detail"`
+}
+
+// Detail assembles the waterfall view of one collected trace.
+func Detail(id string) (TraceDetail, bool) {
+	records, ok := TraceRecordsByString(id)
+	if !ok {
+		return TraceDetail{}, false
+	}
+	sum := summarize(id, records)
+	sort.Slice(records, func(a, b int) bool {
+		if records[a].StartUnixNano != records[b].StartUnixNano {
+			return records[a].StartUnixNano < records[b].StartUnixNano
+		}
+		return records[a].SpanID < records[b].SpanID
+	})
+	det := TraceDetail{TraceSummary: sum, SpansDetail: make([]SpanView, 0, len(records))}
+	for _, rec := range records {
+		det.SpansDetail = append(det.SpansDetail, SpanView{
+			SpanRecord: rec,
+			OffsetNS:   rec.StartUnixNano - sum.StartUnixNano,
+		})
+	}
+	return det, true
+}
+
+// maxIngestBytes bounds one trace-export POST body.
+const maxIngestBytes = 8 << 20
+
+// TracesHandler serves the trace collector:
+//
+//	GET  /debug/traces           -> {"traces": [TraceSummary...]} newest first
+//	GET  /debug/traces?id=HEX    -> TraceDetail (waterfall-ready span views)
+//	POST /debug/traces           -> ingest a JSON array of SpanRecord
+//	                                (cross-process trace export)
+//
+// The POST side is how a dlv client's spans reach the server's flight
+// recorder: after a traced publish/search/pull, the client exports its
+// half of the trace and the two halves merge under one trace ID.
+func TracesHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodPost:
+			blob, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxIngestBytes))
+			if err != nil {
+				http.Error(w, "trace ingest: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			var records []SpanRecord
+			if err := json.Unmarshal(blob, &records); err != nil {
+				http.Error(w, "trace ingest: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			IngestSpans(records)
+			w.WriteHeader(http.StatusNoContent)
+		case http.MethodGet:
+			w.Header().Set("Content-Type", "application/json")
+			if id := r.URL.Query().Get("id"); id != "" {
+				det, ok := Detail(id)
+				if !ok {
+					http.Error(w, "unknown trace id", http.StatusNotFound)
+					return
+				}
+				writeJSON(w, det)
+				return
+			}
+			list := Traces()
+			if list == nil {
+				list = []TraceSummary{}
+			}
+			writeJSON(w, struct {
+				Traces []TraceSummary `json:"traces"`
+			}{list})
+		default:
+			http.Error(w, "GET or POST required", http.StatusMethodNotAllowed)
+		}
+	})
+}
+
+// writeJSON marshals v indented; a failed response write only gets a debug
+// log (the scraper went away).
+func writeJSON(w http.ResponseWriter, v any) {
+	blob, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if _, err := w.Write(blob); err != nil {
+		Logger().Debug("trace response write failed", "err", err)
+	}
+}

@@ -1,8 +1,11 @@
 package obs
 
 import (
+	"fmt"
 	"log/slog"
 	"net/http"
+	"runtime/debug"
+	"strings"
 	"time"
 )
 
@@ -10,7 +13,8 @@ import (
 type MiddlewareOptions struct {
 	// Prefix namespaces the metrics, e.g. "hub.http" yields
 	// hub.http.requests, hub.http.request_seconds, hub.http.response_bytes,
-	// hub.http.in_flight, hub.http.status_Nxx, hub.http.panics.
+	// hub.http.in_flight, hub.http.status_Nxx, hub.http.panics. It also
+	// names the request span: "<prefix>.request".
 	Prefix string
 	// PanicBody is the response body sent with the 500 when a handler
 	// panics (defaults to "internal server error").
@@ -19,9 +23,12 @@ type MiddlewareOptions struct {
 
 // WrapHandler wraps next with the full observability stack: panic recovery
 // (a panicking handler becomes a 500 response instead of a crashed
-// goroutine), request metrics under opts.Prefix, and structured request
-// logging through the package logger. Recovery is always active; metrics
-// and logging follow the global Enable gate and the installed logger.
+// goroutine, and — under tracing — a span event carrying the stack, so the
+// crashed request is findable in /debug/traces), request metrics under
+// opts.Prefix, a per-request span that joins the caller's trace when the
+// request carries a traceparent header, and structured request logging
+// through the package logger with trace correlation. Recovery is always
+// active; metrics, spans, and logging follow the global gates.
 func WrapHandler(next http.Handler, opts MiddlewareOptions) http.Handler {
 	if opts.Prefix == "" {
 		opts.Prefix = "http"
@@ -41,16 +48,39 @@ func WrapHandler(next http.Handler, opts MiddlewareOptions) http.Handler {
 		GetCounter(opts.Prefix + ".status_4xx"),
 		GetCounter(opts.Prefix + ".status_5xx"),
 	}
+	spanName := opts.Prefix + ".request"
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		requests.Inc()
 		inFlight.Add(1)
 		defer inFlight.Add(-1)
 		rec := &statusRecorder{ResponseWriter: w}
+		// Debug endpoints (/debug/traces, /debug/pprof) are not traced:
+		// scraping the flight recorder must not fill it with its own
+		// requests. They still get metrics and recovery.
+		var span *Span
+		if !strings.HasPrefix(r.URL.Path, "/debug/") {
+			ctx := r.Context()
+			if tp := r.Header.Get(TraceparentHeader); tp != "" {
+				if tid, sid, sampled, err := ParseTraceparent(tp); err == nil {
+					ctx, span = StartRemote(ctx, spanName, tid, sid, sampled)
+				}
+			}
+			if span == nil {
+				ctx, span = Start(ctx, spanName)
+			}
+			span.SetAttr("http.method", r.Method)
+			span.SetAttr("http.path", r.URL.Path)
+			r = r.WithContext(ctx)
+		}
 		defer func() {
 			if p := recover(); p != nil {
 				panics.Inc()
-				Logger().Error("handler panic",
+				span.Event("panic",
+					Attr{Key: "panic.value", Value: panicString(p)},
+					Attr{Key: "panic.stack", Value: string(debug.Stack())})
+				span.SetError()
+				Logger().ErrorContext(r.Context(), "handler panic",
 					slog.String("method", r.Method),
 					slog.String("path", r.URL.Path),
 					slog.Any("panic", p))
@@ -68,7 +98,13 @@ func WrapHandler(next http.Handler, opts MiddlewareOptions) http.Handler {
 			elapsed := time.Since(start)
 			seconds.Observe(elapsed.Seconds())
 			respBytes.Add(rec.bytes)
-			Logger().Info("http request",
+			span.SetAttrInt("http.status", int64(status))
+			span.SetAttrInt("http.response_bytes", rec.bytes)
+			if status >= 500 {
+				span.SetError()
+			}
+			span.End()
+			Logger().InfoContext(r.Context(), "http request",
 				slog.String("method", r.Method),
 				slog.String("path", r.URL.Path),
 				slog.Int("status", status),
@@ -78,6 +114,9 @@ func WrapHandler(next http.Handler, opts MiddlewareOptions) http.Handler {
 		next.ServeHTTP(rec, r)
 	})
 }
+
+// panicString renders a recovered panic value for a span event attribute.
+func panicString(p any) string { return fmt.Sprint(p) }
 
 // statusRecorder captures the response status and byte count.
 type statusRecorder struct {

@@ -50,12 +50,44 @@ func init() {
 func Logger() *slog.Logger { return logger.Load() }
 
 // SetLogger installs the process-wide structured logger. Passing nil
-// restores the silent default.
+// restores the silent default. The handler is wrapped so every record made
+// under a traced span (via the *Context logging methods) is stamped with
+// trace_id and span_id, correlating log lines with /debug/traces.
 func SetLogger(l *slog.Logger) {
 	if l == nil {
-		l = slog.New(discardHandler{})
+		logger.Store(slog.New(discardHandler{}))
+		return
 	}
-	logger.Store(l)
+	logger.Store(slog.New(traceHandler{inner: l.Handler()}))
+}
+
+// traceHandler decorates an slog.Handler with trace correlation: when the
+// record's context carries a traced span, trace_id and span_id attributes
+// are appended before the inner handler formats the line.
+type traceHandler struct {
+	inner slog.Handler
+}
+
+func (h traceHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+func (h traceHandler) Handle(ctx context.Context, r slog.Record) error {
+	if s := FromContext(ctx); s != nil && s.tr != nil {
+		r.AddAttrs(
+			slog.String("trace_id", s.tr.id.String()),
+			slog.String("span_id", s.spanID.String()),
+		)
+	}
+	return h.inner.Handle(ctx, r)
+}
+
+func (h traceHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return traceHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+func (h traceHandler) WithGroup(name string) slog.Handler {
+	return traceHandler{inner: h.inner.WithGroup(name)}
 }
 
 // ParseLevel resolves a -log-level flag value ("debug", "info", "warn",

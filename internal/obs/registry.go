@@ -424,6 +424,7 @@ func finite(v float64) float64 {
 // endpoint of modelhub-server.
 func Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		refreshRuntimeMetrics()
 		blob, err := SnapshotJSON()
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)

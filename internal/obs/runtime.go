@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// Runtime health gauges, refreshed on every /metrics scrape (not on a
+// background ticker — a scraper that never comes costs nothing):
+//
+//	runtime.goroutines   live goroutine count
+//	runtime.heap_bytes   bytes of allocated heap objects (MemStats.HeapAlloc)
+//	runtime.gc_pauses    histogram of individual GC stop-the-world pauses
+//	                     (seconds), fed from the pause ring since last scrape
+//	runtime.uptime_seconds  seconds since process start
+
+// processStart anchors the uptime gauge.
+var processStart = time.Now()
+
+// lastGCSeen tracks how far into MemStats.PauseNs the pause histogram has
+// consumed, so each scrape observes only new pauses.
+var lastGCSeen uint32
+
+// refreshRuntimeMetrics samples the Go runtime into the registry. Called by
+// the /metrics handler before each snapshot; callers scraping via
+// SnapshotJSON directly (mhbench) can call it themselves.
+func refreshRuntimeMetrics() {
+	GetGauge("runtime.goroutines").Set(int64(runtime.NumGoroutine()))
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	GetGauge("runtime.heap_bytes").Set(int64(ms.HeapAlloc))
+	GetFloatGauge("runtime.uptime_seconds").Set(time.Since(processStart).Seconds())
+
+	// PauseNs is a circular buffer of the last 256 pause durations, indexed
+	// by GC cycle number; replay the cycles since the previous scrape.
+	pauses := GetHistogram("runtime.gc_pauses")
+	n := ms.NumGC
+	if n > lastGCSeen {
+		newPauses := n - lastGCSeen
+		if newPauses > uint32(len(ms.PauseNs)) {
+			newPauses = uint32(len(ms.PauseNs))
+		}
+		for i := uint32(0); i < newPauses; i++ {
+			cycle := n - i
+			pauses.Observe(float64(ms.PauseNs[(cycle+255)%256]) / 1e9)
+		}
+	}
+	lastGCSeen = n
+}

@@ -1,0 +1,395 @@
+package obs
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tracingTest flips the gates on with a fresh collector and restores the
+// defaults afterwards, so trace tests do not bleed into each other.
+func tracingTest(t *testing.T) {
+	t.Helper()
+	Enable()
+	EnableTracing()
+	SetTraceBufferSize(16)
+	SetTraceSampler(1)
+	t.Cleanup(func() {
+		SetTraceSampler(1)
+		SetSlowTraceThreshold(time.Second)
+		SetTraceBufferSize(DefaultTraceBufferSize)
+		DisableTracing()
+		Disable()
+	})
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tid, err := ParseTraceID("0af7651916cd43dd8448eb211c80319c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sid, err := ParseSpanID("b7ad6b7169203331")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sampled := range []bool{true, false} {
+		v := FormatTraceparent(tid, sid, sampled)
+		wantFlags := "00"
+		if sampled {
+			wantFlags = "01"
+		}
+		want := "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-" + wantFlags
+		if v != want {
+			t.Fatalf("FormatTraceparent = %q, want %q", v, want)
+		}
+		gtid, gsid, gsampled, err := ParseTraceparent(v)
+		if err != nil {
+			t.Fatalf("ParseTraceparent(%q): %v", v, err)
+		}
+		if gtid != tid || gsid != sid || gsampled != sampled {
+			t.Fatalf("round trip = %v %v %v, want %v %v %v", gtid, gsid, gsampled, tid, sid, sampled)
+		}
+	}
+}
+
+func TestParseTraceparentRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"00",
+		"00-abc",
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331",      // missing flags
+		"ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",   // forbidden version
+		"0-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",    // short version
+		"00-00000000000000000000000000000000-b7ad6b7169203331-01",   // all-zero trace
+		"00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01",   // all-zero span
+		"00-0af7651916cd43dd8448eb211c80319-b7ad6b7169203331-01",    // short trace id
+		"00-zzf7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",   // non-hex trace id
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-0101", // long flags
+	}
+	for _, v := range bad {
+		if _, _, _, err := ParseTraceparent(v); err == nil {
+			t.Errorf("ParseTraceparent(%q) accepted, want error", v)
+		}
+	}
+	// Unknown (but well-formed) versions and extra fields are accepted per
+	// the W3C forward-compatibility rule.
+	ok := "cc-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-futurefield"
+	if _, _, sampled, err := ParseTraceparent(ok); err != nil || !sampled {
+		t.Fatalf("forward-compat value rejected: %v (sampled=%v)", err, sampled)
+	}
+}
+
+func TestSpanRecordsParentChild(t *testing.T) {
+	tracingTest(t)
+	ctx, parent := Start(context.Background(), "test.trace.parent")
+	_, child := Start(ctx, "test.trace.child")
+	tid, psid, csid := parent.TraceID(), parent.SpanID(), child.SpanID()
+	if tid.IsZero() || psid.IsZero() || csid.IsZero() {
+		t.Fatal("tracing on but IDs are zero")
+	}
+	if child.TraceID() != tid {
+		t.Fatalf("child trace = %v, want %v", child.TraceID(), tid)
+	}
+	child.SetAttr("k", "v")
+	child.End()
+	parent.End()
+
+	records, ok := TraceRecords(tid)
+	if !ok || len(records) != 2 {
+		t.Fatalf("TraceRecords = %d records, ok=%v; want 2", len(records), ok)
+	}
+	byName := map[string]SpanRecord{}
+	for _, rec := range records {
+		byName[rec.Name] = rec
+	}
+	crec := byName["test.trace.child"]
+	if crec.ParentID != psid.String() {
+		t.Fatalf("child parent = %q, want %q", crec.ParentID, psid.String())
+	}
+	if len(crec.Attrs) != 1 || crec.Attrs[0] != (Attr{Key: "k", Value: "v"}) {
+		t.Fatalf("child attrs = %+v", crec.Attrs)
+	}
+	if prec := byName["test.trace.parent"]; prec.ParentID != "" {
+		t.Fatalf("root parent = %q, want empty", prec.ParentID)
+	}
+
+	det, ok := Detail(tid.String())
+	if !ok || det.Spans != 2 || det.Root != "test.trace.parent" {
+		t.Fatalf("Detail = %+v, ok=%v", det.TraceSummary, ok)
+	}
+	if det.SpansDetail[0].OffsetNS != 0 {
+		t.Fatalf("first span offset = %d, want 0", det.SpansDetail[0].OffsetNS)
+	}
+}
+
+func TestSamplerZeroDropsCleanKeepsErrorAndSlow(t *testing.T) {
+	tracingTest(t)
+	SetTraceSampler(0)
+
+	// A clean, fast trace is dropped.
+	clean := StartRoot("test.trace.clean")
+	cleanID := clean.TraceID()
+	clean.End()
+	if _, ok := TraceRecords(cleanID); ok {
+		t.Fatal("rate-0 sampler kept a clean trace")
+	}
+
+	// An errored trace is always kept.
+	failed := StartRoot("test.trace.failed")
+	failedID := failed.TraceID()
+	failed.SetError()
+	failed.End()
+	records, ok := TraceRecords(failedID)
+	if !ok || len(records) != 1 || !records[0].Error {
+		t.Fatalf("errored trace not kept: ok=%v records=%+v", ok, records)
+	}
+
+	// A slow trace is always kept.
+	SetSlowTraceThreshold(time.Nanosecond)
+	slow := StartRoot("test.trace.slow")
+	slowID := slow.TraceID()
+	time.Sleep(time.Millisecond)
+	slow.End()
+	if _, ok := TraceRecords(slowID); !ok {
+		t.Fatal("slow trace not kept")
+	}
+}
+
+func TestTraceBufferWrapKeepsNewest(t *testing.T) {
+	tracingTest(t)
+	SetTraceBufferSize(4)
+	var ids []string
+	for i := 0; i < 10; i++ {
+		s := StartRoot("test.trace.wrap")
+		ids = append(ids, s.TraceID().String())
+		s.End()
+	}
+	list := Traces()
+	if len(list) != 4 {
+		t.Fatalf("Traces after wrap = %d, want 4", len(list))
+	}
+	// The newest four survive; the oldest six are gone.
+	for _, id := range ids[6:] {
+		if _, ok := TraceRecordsByString(id); !ok {
+			t.Fatalf("newest trace %s evicted", id)
+		}
+	}
+	for _, id := range ids[:6] {
+		if _, ok := TraceRecordsByString(id); ok {
+			t.Fatalf("oldest trace %s still present after wrap", id)
+		}
+	}
+}
+
+func TestIngestSpansMergesAndDedupes(t *testing.T) {
+	tracingTest(t)
+	rec := SpanRecord{
+		TraceID: "0af7651916cd43dd8448eb211c80319c", SpanID: "b7ad6b7169203331",
+		Name: "remote.op", Service: "other-process", StartUnixNano: 100, DurationNS: 50,
+	}
+	IngestSpans([]SpanRecord{rec, rec, {Name: "no.ids"}}) // dup + id-less record dropped
+	records, ok := TraceRecordsByString(rec.TraceID)
+	if !ok || len(records) != 1 {
+		t.Fatalf("ingested records = %d (ok=%v), want 1", len(records), ok)
+	}
+	// A second process's record under the same trace ID merges.
+	IngestSpans([]SpanRecord{{
+		TraceID: rec.TraceID, SpanID: "c8be7c827a314442", ParentID: rec.SpanID,
+		Name: "remote.child", Service: "third-process", StartUnixNano: 110, DurationNS: 20,
+	}})
+	det, ok := Detail(rec.TraceID)
+	if !ok || det.Spans != 2 {
+		t.Fatalf("merged detail = %+v, ok=%v", det.TraceSummary, ok)
+	}
+	if want := []string{"other-process", "third-process"}; len(det.Services) != 2 ||
+		det.Services[0] != want[0] || det.Services[1] != want[1] {
+		t.Fatalf("services = %v, want %v", det.Services, want)
+	}
+}
+
+func TestIngestSpansNoopWhileTracingDisabled(t *testing.T) {
+	Disable()
+	DisableTracing()
+	IngestSpans([]SpanRecord{{
+		TraceID: "1af7651916cd43dd8448eb211c80319c", SpanID: "a7ad6b7169203331", Name: "x",
+	}})
+	if _, ok := TraceRecordsByString("1af7651916cd43dd8448eb211c80319c"); ok {
+		t.Fatal("IngestSpans stored records while tracing disabled")
+	}
+}
+
+func TestWrapHandlerJoinsRemoteTrace(t *testing.T) {
+	tracingTest(t)
+	SetTraceSampler(0) // only the propagated flag can keep this trace
+	h := WrapHandler(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}), MiddlewareOptions{Prefix: "test.tracejoin"})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	tid, _ := ParseTraceID("4bf92f3577b34da6a3ce929d0e0e4736")
+	sid, _ := ParseSpanID("00f067aa0ba902b7")
+	req, err := http.NewRequest(http.MethodGet, srv.URL+"/op", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(TraceparentHeader, FormatTraceparent(tid, sid, true))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resp.Body.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	records, ok := TraceRecords(tid)
+	if !ok || len(records) != 1 {
+		t.Fatalf("remote-joined trace records = %d (ok=%v), want 1", len(records), ok)
+	}
+	rec := records[0]
+	if rec.Name != "test.tracejoin.request" {
+		t.Fatalf("span name = %q", rec.Name)
+	}
+	if rec.ParentID != sid.String() {
+		t.Fatalf("server span parent = %q, want the remote caller %q", rec.ParentID, sid.String())
+	}
+}
+
+func TestWrapHandlerPanicEventInTrace(t *testing.T) {
+	tracingTest(t)
+	SetTraceSampler(0) // the panic marks the trace errored, which must keep it
+	h := WrapHandler(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("trace boom")
+	}), MiddlewareOptions{Prefix: "test.tracepanic"})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/kaboom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resp.Body.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var panicked *TraceSummary
+	for _, tr := range Traces() {
+		if tr.Root == "test.tracepanic.request" {
+			panicked = &tr
+			break
+		}
+	}
+	if panicked == nil {
+		t.Fatal("panicked request trace not collected")
+	}
+	if !panicked.Error {
+		t.Fatal("panicked trace not marked errored")
+	}
+	det, ok := Detail(panicked.ID)
+	if !ok {
+		t.Fatal("panicked trace has no detail")
+	}
+	var ev *Event
+	for _, sv := range det.SpansDetail {
+		for _, e := range sv.Events {
+			if e.Name == "panic" {
+				ev = &e
+				break
+			}
+		}
+	}
+	if ev == nil {
+		t.Fatal("no panic event on the crashed span")
+	}
+	attrs := map[string]string{}
+	for _, a := range ev.Attrs {
+		attrs[a.Key] = a.Value
+	}
+	if attrs["panic.value"] != "trace boom" {
+		t.Fatalf("panic.value = %q", attrs["panic.value"])
+	}
+	if !strings.Contains(attrs["panic.stack"], "http_test") &&
+		!strings.Contains(attrs["panic.stack"], "goroutine") {
+		t.Fatalf("panic.stack does not look like a stack: %q", attrs["panic.stack"])
+	}
+}
+
+func TestTracesHandlerServesListDetailAndIngest(t *testing.T) {
+	tracingTest(t)
+	s := StartRoot("test.trace.http")
+	tid := s.TraceID().String()
+	s.End()
+	srv := httptest.NewServer(TracesHandler())
+	defer srv.Close()
+
+	// List.
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Header.Get("Content-Type") != "application/json" {
+		t.Fatalf("list Content-Type = %q", resp.Header.Get("Content-Type"))
+	}
+	if err := resp.Body.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Detail by ID; unknown IDs 404.
+	if resp, err = http.Get(srv.URL + "?id=" + tid); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("detail status = %v, %v", resp.StatusCode, err)
+	}
+	if err := resp.Body.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if resp, err = http.Get(srv.URL + "?id=ffffffffffffffffffffffffffffffff"); err != nil ||
+		resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown id status = %v, %v", resp.StatusCode, err)
+	}
+	if err := resp.Body.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Ingest.
+	body := `[{"trace_id":"2af7651916cd43dd8448eb211c80319c","span_id":"d7ad6b7169203331","name":"posted.op"}]`
+	resp, err = http.Post(srv.URL, "application/json", strings.NewReader(body))
+	if err != nil || resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("ingest status = %v, %v", resp.StatusCode, err)
+	}
+	if err := resp.Body.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := TraceRecordsByString("2af7651916cd43dd8448eb211c80319c"); !ok {
+		t.Fatal("POSTed records not ingested")
+	}
+	// Garbage bodies are rejected.
+	resp, err = http.Post(srv.URL, "application/json", strings.NewReader("not json"))
+	if err != nil || resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad ingest status = %v, %v", resp.StatusCode, err)
+	}
+	if err := resp.Body.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceMethodsNoopWithoutTracing(t *testing.T) {
+	Enable()
+	defer Disable()
+	DisableTracing()
+	_, s := Start(context.Background(), "test.trace.off")
+	if s == nil {
+		t.Fatal("metrics on: span must be live")
+	}
+	if !s.TraceID().IsZero() || !s.SpanID().IsZero() {
+		t.Fatal("tracing off but the span has trace identity")
+	}
+	h := http.Header{}
+	s.Inject(h)
+	if h.Get(TraceparentHeader) != "" {
+		t.Fatal("tracing off but Inject set a header")
+	}
+	s.SetAttr("k", "v")
+	s.Event("e")
+	s.SetError()
+	s.End()
+}

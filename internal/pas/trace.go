@@ -1,0 +1,37 @@
+package pas
+
+import (
+	"context"
+
+	"modelhub/internal/obs"
+	"modelhub/internal/tensor"
+)
+
+// GetSnapshotCtx is GetSnapshot under a traced context: the retrieval runs
+// inside a "pas.get_snapshot" span carrying the scheme, snapshot, prefix,
+// and — from deltas of the engine's global counters — the plane-cache
+// hits/misses and chunk bytes this retrieval overlapped with. The deltas
+// are process-global, so under concurrent retrievals they attribute shared
+// activity to every overlapping span; for the single-request traces the
+// flight recorder targets they are exact. When obs is disabled this is a
+// direct call to GetSnapshot.
+func (s *Store) GetSnapshotCtx(ctx context.Context, snapshot string, prefix int, scheme Scheme) (map[string]*tensor.Matrix, error) {
+	if !obs.Enabled() {
+		return s.GetSnapshot(snapshot, prefix, scheme)
+	}
+	_, span := obs.Start(ctx, "pas.get_snapshot")
+	span.SetAttr("pas.scheme", scheme.String())
+	span.SetAttr("pas.snapshot", snapshot)
+	span.SetAttrInt("pas.prefix", int64(prefix))
+	hits0, misses0 := mPlaneCacheHits.Value(), mPlaneCacheMisses.Value()
+	bytes0 := mChunkReadBytes.Value()
+	out, err := s.GetSnapshot(snapshot, prefix, scheme)
+	span.SetAttrInt("pas.plane_cache_hits", mPlaneCacheHits.Value()-hits0)
+	span.SetAttrInt("pas.plane_cache_misses", mPlaneCacheMisses.Value()-misses0)
+	span.SetAttrInt("pas.chunk_read_bytes", mChunkReadBytes.Value()-bytes0)
+	if err != nil {
+		span.SetError()
+	}
+	span.End()
+	return out, err
+}

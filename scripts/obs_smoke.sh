@@ -47,10 +47,12 @@ if [ "$ready" != 1 ]; then
   exit 1
 fi
 
-# One publish + one pull: the publish-side archive probe drives the PAS
-# concurrent engine inside the server process.
-"$TMP/dlv" publish -repo "$REPO" -remote "http://$ADDR" -name smoke-repo >/dev/null
-"$TMP/dlv" pull -remote "http://$ADDR" -name smoke-repo -dest "$TMP/pulled" >/dev/null
+# One publish + one pull, both traced (-trace is a global flag, so it goes
+# before the subcommand): the publish-side archive probe drives the PAS
+# concurrent engine inside the server process, and each client exports its
+# half of the trace to the server's flight recorder.
+"$TMP/dlv" -trace publish -repo "$REPO" -remote "http://$ADDR" -name smoke-repo >/dev/null
+"$TMP/dlv" -trace pull -remote "http://$ADDR" -name smoke-repo -dest "$TMP/pulled" >/dev/null
 
 METRICS="$TMP/metrics.json"
 curl -fsS "http://$ADDR/metrics" >"$METRICS"
@@ -76,6 +78,40 @@ jq -e '."hub.transfer.publish.bytes".count >= 1' "$METRICS" >/dev/null
 jq -e '."hub.transfer.pull.bytes".count >= 1' "$METRICS" >/dev/null
 
 curl -fsS "http://$ADDR/debug/pprof/" >/dev/null
+
+# Distributed tracing: the traced pull must have landed ONE trace in the
+# server's flight recorder whose spans come from both processes — the dlv
+# client's pull spans and the server's request span under one trace ID.
+TRACES="$TMP/traces.json"
+curl -fsS "http://$ADDR/debug/traces" >"$TRACES"
+jq empty "$TRACES"
+jq -e '[.traces[]
+        | select(.root == "hub.client.pull"
+                 and .spans >= 3
+                 and (.services | index("dlv"))
+                 and (.services | index("modelhub-server")))]
+       | length >= 1' "$TRACES" >/dev/null || {
+  echo "obs-smoke: no cross-process hub.client.pull trace at /debug/traces; payload follows" >&2
+  cat "$TRACES" >&2
+  exit 1
+}
+# The waterfall CLI renders the newest trace and shows both halves.
+"$TMP/dlv" trace -remote "http://$ADDR" last >"$TMP/waterfall.txt"
+grep -q "hub.client.pull" "$TMP/waterfall.txt" || {
+  echo "obs-smoke: dlv trace output has no client span; output follows" >&2
+  cat "$TMP/waterfall.txt" >&2
+  exit 1
+}
+grep -q "hub.http.request" "$TMP/waterfall.txt" || {
+  echo "obs-smoke: dlv trace output has no server span; output follows" >&2
+  cat "$TMP/waterfall.txt" >&2
+  exit 1
+}
+# Log correlation: traced server requests stamp trace_id into slog lines.
+grep -q "trace_id=" "$TMP/server.log" || {
+  echo "obs-smoke: server log has no trace_id-stamped lines" >&2
+  exit 1
+}
 
 # Graceful shutdown: SIGTERM must drain in-flight work and exit 0.
 kill -TERM "$SRV_PID"
