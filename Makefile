@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: build vet fmt-check lint lint-baseline test test-race test-layouts test-scaling fuzz-smoke obs-smoke bench bench-train bench-store bench-scaling check help
+.PHONY: build vet fmt-check lint lint-baseline test test-race test-layouts test-scaling fuzz-smoke obs-smoke cluster-smoke bench bench-train bench-store bench-scaling check help
 
 build:
 	$(GO) build ./...
@@ -47,6 +47,12 @@ fuzz-smoke:
 # nonzero hub.http.* and pas.* counters, and hit /debug/pprof/.
 obs-smoke:
 	bash scripts/obs_smoke.sh
+
+# Distributed-hub failure drill: gateway + 3 replicas, publish through the
+# gateway, kill a replica, pull from the survivors, restart it, and assert
+# one anti-entropy sweep restores full replication via /metrics.
+cluster-smoke:
+	bash scripts/cluster_smoke.sh
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
@@ -96,6 +102,7 @@ help:
 	@echo "test-race   - go test -race ./..."
 	@echo "fuzz-smoke  - short fuzz runs (FUZZTIME=$(FUZZTIME))"
 	@echo "obs-smoke   - live /metrics + pprof scrape against a real server"
+	@echo "cluster-smoke - gateway + 3-replica failure drill with anti-entropy repair"
 	@echo "bench       - run all benchmarks once"
 	@echo "bench-train - training-substrate kernel benchmarks"
 	@echo "bench-store - legacy vs segment storage layout comparison (BENCH_store.json)"

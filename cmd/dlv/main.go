@@ -30,14 +30,17 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"modelhub/internal/core"
 	"modelhub/internal/data"
@@ -78,8 +81,13 @@ func main() {
 		obs.SetTraceSampler(1) // a one-shot CLI run always keeps its trace
 		obs.SetService("dlv")
 	}
+	// Ctrl-C / SIGTERM cancel the command context: hub transfers abort
+	// mid-stream or mid-backoff instead of running to completion, and a
+	// second signal kills the process via the restored default handler.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	cmd, args := global.Arg(0), global.Args()[1:]
-	if err := run(cmd, args); err != nil {
+	if err := run(ctx, cmd, args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			os.Exit(2) // the flag package already printed the usage
 		}
@@ -141,7 +149,7 @@ func usage() {
 commands: init add train copy list desc diff archive gc repack eval history plot query publish search pull trace`)
 }
 
-func run(cmd string, args []string) error {
+func run(ctx context.Context, cmd string, args []string) error {
 	switch cmd {
 	case "init":
 		fs := flag.NewFlagSet("init", flag.ContinueOnError)
@@ -627,7 +635,7 @@ func run(cmd string, args []string) error {
 		if err != nil {
 			return err
 		}
-		if err := mh.PublishWith(*remote, *name, opts()); err != nil {
+		if err := mh.PublishWith(ctx, *remote, *name, opts()); err != nil {
 			return err
 		}
 		fmt.Printf("published %s to %s\n", *name, *remote)
@@ -644,7 +652,7 @@ func run(cmd string, args []string) error {
 		if *remote == "" {
 			return fmt.Errorf("search: -remote is required")
 		}
-		infos, err := core.SearchWith(*remote, *q, opts())
+		infos, err := core.SearchWith(ctx, *remote, *q, opts())
 		if err != nil {
 			return err
 		}
@@ -666,7 +674,7 @@ func run(cmd string, args []string) error {
 		if *remote == "" || *name == "" {
 			return fmt.Errorf("pull: -remote and -name are required")
 		}
-		if _, err := core.PullWith(*remote, *name, *dest, opts()); err != nil {
+		if _, err := core.PullWith(ctx, *remote, *name, *dest, opts()); err != nil {
 			return err
 		}
 		fmt.Printf("pulled %s into %s\n", *name, *dest)

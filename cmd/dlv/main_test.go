@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -21,26 +22,26 @@ func repoArgs(dir string, args ...string) []string {
 
 func TestCLILifecycle(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("init", []string{"-repo", dir}); err != nil {
+	if err := run(context.Background(), "init", []string{"-repo", dir}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("init", []string{"-repo", dir}); err == nil {
+	if err := run(context.Background(), "init", []string{"-repo", dir}); err == nil {
 		t.Fatal("double init must fail")
 	}
 	// Stage a file, train two versions (one fine-tuned).
 	if err := os.WriteFile(filepath.Join(dir, "notes.md"), []byte("hi"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("add", repoArgs(dir, "notes.md")); err != nil {
+	if err := run(context.Background(), "add", repoArgs(dir, "notes.md")); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("train", repoArgs(dir, "-name", "lenet-v1", "-epochs", "1", "-checkpoint-every", "8", "-seed", "1")); err != nil {
+	if err := run(context.Background(), "train", repoArgs(dir, "-name", "lenet-v1", "-epochs", "1", "-checkpoint-every", "8", "-seed", "1")); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("train", repoArgs(dir, "-name", "lenet-v2", "-epochs", "1", "-lr", "0.01", "-parent", "1", "-seed", "2")); err != nil {
+	if err := run(context.Background(), "train", repoArgs(dir, "-name", "lenet-v2", "-epochs", "1", "-lr", "0.01", "-parent", "1", "-seed", "2")); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("copy", repoArgs(dir, "-from", "1", "-name", "scaffold")); err != nil {
+	if err := run(context.Background(), "copy", repoArgs(dir, "-from", "1", "-name", "scaffold")); err != nil {
 		t.Fatal(err)
 	}
 	for _, cmd := range [][2]string{{"list", ""}, {"desc", "1"}} {
@@ -48,26 +49,26 @@ func TestCLILifecycle(t *testing.T) {
 		if cmd[1] != "" {
 			args = repoArgs(dir, "-v", cmd[1])
 		}
-		if err := run(cmd[0], args); err != nil {
+		if err := run(context.Background(), cmd[0], args); err != nil {
 			t.Fatalf("%s: %v", cmd[0], err)
 		}
 	}
-	if err := run("diff", repoArgs(dir, "-a", "1", "-b", "2")); err != nil {
+	if err := run(context.Background(), "diff", repoArgs(dir, "-a", "1", "-b", "2")); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("query", repoArgs(dir, `select m where m.name like "lenet%"`)); err != nil {
+	if err := run(context.Background(), "query", repoArgs(dir, `select m where m.name like "lenet%"`)); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("archive", repoArgs(dir, "-algo", "pas-mt", "-alpha", "2")); err != nil {
+	if err := run(context.Background(), "archive", repoArgs(dir, "-algo", "pas-mt", "-alpha", "2")); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("eval", repoArgs(dir, "-v", "2", "-n", "20")); err != nil {
+	if err := run(context.Background(), "eval", repoArgs(dir, "-v", "2", "-n", "20")); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("eval", repoArgs(dir, "-v", "2", "-n", "10", "-progressive")); err != nil {
+	if err := run(context.Background(), "eval", repoArgs(dir, "-v", "2", "-n", "10", "-progressive")); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("eval", repoArgs(dir, "-v", "2", "-n", "10", "-prefix", "2")); err != nil {
+	if err := run(context.Background(), "eval", repoArgs(dir, "-v", "2", "-n", "10", "-prefix", "2")); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -81,82 +82,82 @@ func TestCLIHubRoundTrip(t *testing.T) {
 	defer ts.Close()
 
 	dir := t.TempDir()
-	if err := run("init", []string{"-repo", dir}); err != nil {
+	if err := run(context.Background(), "init", []string{"-repo", dir}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("train", repoArgs(dir, "-name", "shared", "-epochs", "1", "-seed", "3")); err != nil {
+	if err := run(context.Background(), "train", repoArgs(dir, "-name", "shared", "-epochs", "1", "-seed", "3")); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("publish", repoArgs(dir, "-remote", ts.URL, "-name", "cli-repo")); err != nil {
+	if err := run(context.Background(), "publish", repoArgs(dir, "-remote", ts.URL, "-name", "cli-repo")); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("search", []string{"-remote", ts.URL, "-q", "shared"}); err != nil {
+	if err := run(context.Background(), "search", []string{"-remote", ts.URL, "-q", "shared"}); err != nil {
 		t.Fatal(err)
 	}
 	dest := t.TempDir()
-	if err := run("pull", []string{"-remote", ts.URL, "-name", "cli-repo", "-dest", dest}); err != nil {
+	if err := run(context.Background(), "pull", []string{"-remote", ts.URL, "-name", "cli-repo", "-dest", dest}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("list", repoArgs(dest)); err != nil {
+	if err := run(context.Background(), "list", repoArgs(dest)); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestCLIErrors(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("list", repoArgs(dir)); err == nil {
+	if err := run(context.Background(), "list", repoArgs(dir)); err == nil {
 		t.Fatal("list outside a repo must fail")
 	}
-	if err := run("bogus", nil); err == nil {
+	if err := run(context.Background(), "bogus", nil); err == nil {
 		t.Fatal("unknown command must fail")
 	}
-	if err := run("init", []string{"-repo", dir}); err != nil {
+	if err := run(context.Background(), "init", []string{"-repo", dir}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("train", repoArgs(dir)); err == nil {
+	if err := run(context.Background(), "train", repoArgs(dir)); err == nil {
 		t.Fatal("train without -name must fail")
 	}
-	if err := run("copy", repoArgs(dir)); err == nil {
+	if err := run(context.Background(), "copy", repoArgs(dir)); err == nil {
 		t.Fatal("copy without flags must fail")
 	}
-	if err := run("desc", repoArgs(dir)); err == nil {
+	if err := run(context.Background(), "desc", repoArgs(dir)); err == nil {
 		t.Fatal("desc without -v must fail")
 	}
-	if err := run("diff", repoArgs(dir)); err == nil {
+	if err := run(context.Background(), "diff", repoArgs(dir)); err == nil {
 		t.Fatal("diff without ids must fail")
 	}
-	if err := run("eval", repoArgs(dir)); err == nil {
+	if err := run(context.Background(), "eval", repoArgs(dir)); err == nil {
 		t.Fatal("eval without -v must fail")
 	}
-	if err := run("query", repoArgs(dir)); err == nil {
+	if err := run(context.Background(), "query", repoArgs(dir)); err == nil {
 		t.Fatal("query without a statement must fail")
 	}
-	if err := run("query", repoArgs(dir, "not a query")); err == nil {
+	if err := run(context.Background(), "query", repoArgs(dir, "not a query")); err == nil {
 		t.Fatal("bad DQL must fail")
 	}
-	if err := run("add", repoArgs(dir)); err == nil {
+	if err := run(context.Background(), "add", repoArgs(dir)); err == nil {
 		t.Fatal("add without files must fail")
 	}
-	if err := run("publish", repoArgs(dir)); err == nil {
+	if err := run(context.Background(), "publish", repoArgs(dir)); err == nil {
 		t.Fatal("publish without remote must fail")
 	}
-	if err := run("search", nil); err == nil {
+	if err := run(context.Background(), "search", nil); err == nil {
 		t.Fatal("search without remote must fail")
 	}
-	if err := run("pull", nil); err == nil {
+	if err := run(context.Background(), "pull", nil); err == nil {
 		t.Fatal("pull without flags must fail")
 	}
 }
 
 func TestCLIHTMLReports(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("init", []string{"-repo", dir}); err != nil {
+	if err := run(context.Background(), "init", []string{"-repo", dir}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("train", repoArgs(dir, "-name", "m1", "-epochs", "1", "-seed", "4")); err != nil {
+	if err := run(context.Background(), "train", repoArgs(dir, "-name", "m1", "-epochs", "1", "-seed", "4")); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("train", repoArgs(dir, "-name", "m2", "-epochs", "1", "-lr", "0.05", "-seed", "5")); err != nil {
+	if err := run(context.Background(), "train", repoArgs(dir, "-name", "m2", "-epochs", "1", "-lr", "0.05", "-seed", "5")); err != nil {
 		t.Fatal(err)
 	}
 	for _, c := range []struct {
@@ -168,7 +169,7 @@ func TestCLIHTMLReports(t *testing.T) {
 		{"diff", repoArgs(dir, "-a", "1", "-b", "2")},
 	} {
 		out := filepath.Join(t.TempDir(), c.cmd+".html")
-		if err := run(c.cmd, append(c.args, "-html", out)); err != nil {
+		if err := run(context.Background(), c.cmd, append(c.args, "-html", out)); err != nil {
 			t.Fatalf("%s -html: %v", c.cmd, err)
 		}
 		blob, err := os.ReadFile(out)
@@ -183,18 +184,18 @@ func TestCLIHTMLReports(t *testing.T) {
 
 func TestCLIPlot(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("init", []string{"-repo", dir}); err != nil {
+	if err := run(context.Background(), "init", []string{"-repo", dir}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("train", repoArgs(dir, "-name", "m", "-epochs", "1", "-seed", "6")); err != nil {
+	if err := run(context.Background(), "train", repoArgs(dir, "-name", "m", "-epochs", "1", "-seed", "6")); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("archive", repoArgs(dir, "-algo", "mst")); err != nil {
+	if err := run(context.Background(), "archive", repoArgs(dir, "-algo", "mst")); err != nil {
 		t.Fatal(err)
 	}
 	out := filepath.Join(t.TempDir(), "weights.html")
 	// Plot from 2 byte planes only — the paper's partial-retrieval use case.
-	if err := run("plot", repoArgs(dir, "-v", "1", "-prefix", "2", "-o", out)); err != nil {
+	if err := run(context.Background(), "plot", repoArgs(dir, "-v", "1", "-prefix", "2", "-o", out)); err != nil {
 		t.Fatal(err)
 	}
 	blob, err := os.ReadFile(out)
@@ -204,105 +205,105 @@ func TestCLIPlot(t *testing.T) {
 	if !strings.Contains(string(blob), "<svg") {
 		t.Fatal("plot output missing SVG")
 	}
-	if err := run("plot", repoArgs(dir, "-v", "1", "-layer", "ghost", "-o", out)); err == nil {
+	if err := run(context.Background(), "plot", repoArgs(dir, "-v", "1", "-layer", "ghost", "-o", out)); err == nil {
 		t.Fatal("unknown layer must fail")
 	}
 }
 
 func TestCLIArchiveCheckpointScheme(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("init", []string{"-repo", dir}); err != nil {
+	if err := run(context.Background(), "init", []string{"-repo", dir}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("train", repoArgs(dir, "-name", "m", "-epochs", "1", "-checkpoint-every", "8", "-seed", "7")); err != nil {
+	if err := run(context.Background(), "train", repoArgs(dir, "-name", "m", "-epochs", "1", "-checkpoint-every", "8", "-seed", "7")); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("archive", repoArgs(dir, "-algo", "mst", "-checkpoint-scheme", "fixed-8")); err != nil {
+	if err := run(context.Background(), "archive", repoArgs(dir, "-algo", "mst", "-checkpoint-scheme", "fixed-8")); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("archive", repoArgs(dir, "-checkpoint-scheme", "wat")); err == nil {
+	if err := run(context.Background(), "archive", repoArgs(dir, "-checkpoint-scheme", "wat")); err == nil {
 		t.Fatal("bad scheme must fail")
 	}
-	if err := run("eval", repoArgs(dir, "-v", "1", "-n", "10")); err != nil {
+	if err := run(context.Background(), "eval", repoArgs(dir, "-v", "1", "-n", "10")); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestCLIEvalWithDataFile(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("init", []string{"-repo", dir}); err != nil {
+	if err := run(context.Background(), "init", []string{"-repo", dir}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("train", repoArgs(dir, "-name", "m", "-epochs", "1", "-seed", "8")); err != nil {
+	if err := run(context.Background(), "train", repoArgs(dir, "-name", "m", "-epochs", "1", "-seed", "8")); err != nil {
 		t.Fatal(err)
 	}
 	points := filepath.Join(t.TempDir(), "points.json")
 	if err := data.SaveExamples(points, core.TestSet(15, 77)); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("eval", repoArgs(dir, "-v", "1", "-data", points)); err != nil {
+	if err := run(context.Background(), "eval", repoArgs(dir, "-v", "1", "-data", points)); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("eval", repoArgs(dir, "-v", "1", "-data", "/nonexistent.json")); err == nil {
+	if err := run(context.Background(), "eval", repoArgs(dir, "-v", "1", "-data", "/nonexistent.json")); err == nil {
 		t.Fatal("missing data file must fail")
 	}
 }
 
 func TestCLIDiffWeights(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("init", []string{"-repo", dir}); err != nil {
+	if err := run(context.Background(), "init", []string{"-repo", dir}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("train", repoArgs(dir, "-name", "a", "-epochs", "1", "-seed", "9")); err != nil {
+	if err := run(context.Background(), "train", repoArgs(dir, "-name", "a", "-epochs", "1", "-seed", "9")); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("train", repoArgs(dir, "-name", "b", "-epochs", "1", "-parent", "1", "-lr", "0.01", "-seed", "10")); err != nil {
+	if err := run(context.Background(), "train", repoArgs(dir, "-name", "b", "-epochs", "1", "-parent", "1", "-lr", "0.01", "-seed", "10")); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("diff", repoArgs(dir, "-a", "1", "-b", "2", "-weights")); err != nil {
+	if err := run(context.Background(), "diff", repoArgs(dir, "-a", "1", "-b", "2", "-weights")); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestCLIHistory(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("init", []string{"-repo", dir}); err != nil {
+	if err := run(context.Background(), "init", []string{"-repo", dir}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("train", repoArgs(dir, "-name", "m", "-epochs", "1", "-checkpoint-every", "8", "-seed", "11")); err != nil {
+	if err := run(context.Background(), "train", repoArgs(dir, "-name", "m", "-epochs", "1", "-checkpoint-every", "8", "-seed", "11")); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("history", repoArgs(dir, "-v", "1", "-n", "20")); err != nil {
+	if err := run(context.Background(), "history", repoArgs(dir, "-v", "1", "-n", "20")); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("history", repoArgs(dir)); err == nil {
+	if err := run(context.Background(), "history", repoArgs(dir)); err == nil {
 		t.Fatal("history without -v must fail")
 	}
 }
 
 func TestCLIGCRepack(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("init", []string{"-repo", dir}); err != nil {
+	if err := run(context.Background(), "init", []string{"-repo", dir}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("train", repoArgs(dir, "-name", "m", "-epochs", "1", "-checkpoint-every", "8", "-seed", "21")); err != nil {
+	if err := run(context.Background(), "train", repoArgs(dir, "-name", "m", "-epochs", "1", "-checkpoint-every", "8", "-seed", "21")); err != nil {
 		t.Fatal(err)
 	}
 	// Before any archive exists, maintenance must fail with an error, not panic.
-	if err := run("gc", repoArgs(dir)); err == nil {
+	if err := run(context.Background(), "gc", repoArgs(dir)); err == nil {
 		t.Fatal("gc before archive must fail")
 	}
-	if err := run("archive", repoArgs(dir, "-algo", "pas-mt", "-alpha", "2")); err != nil {
+	if err := run(context.Background(), "archive", repoArgs(dir, "-algo", "pas-mt", "-alpha", "2")); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("gc", repoArgs(dir)); err != nil {
+	if err := run(context.Background(), "gc", repoArgs(dir)); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("repack", repoArgs(dir)); err != nil {
+	if err := run(context.Background(), "repack", repoArgs(dir)); err != nil {
 		t.Fatal(err)
 	}
 	// The archive still checks out after compaction.
-	if err := run("eval", repoArgs(dir, "-v", "1", "-n", "10")); err != nil {
+	if err := run(context.Background(), "eval", repoArgs(dir, "-v", "1", "-n", "10")); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -312,28 +313,28 @@ func TestCLIGCRepack(t *testing.T) {
 // arguments.
 func TestCLIMisplacedGlobalFlags(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("init", []string{"-repo", dir}); err != nil {
+	if err := run(context.Background(), "init", []string{"-repo", dir}); err != nil {
 		t.Fatal(err)
 	}
-	err := run("list", repoArgs(dir, "-v"))
+	err := run(context.Background(), "list", repoArgs(dir, "-v"))
 	if err == nil || !strings.Contains(err.Error(), "before the subcommand") || !strings.Contains(err.Error(), "-v") {
 		t.Fatalf("list -v: got %v, want misplaced-global-flag error naming -v", err)
 	}
-	err = run("list", repoArgs(dir, "-log-level=debug"))
+	err = run(context.Background(), "list", repoArgs(dir, "-log-level=debug"))
 	if err == nil || !strings.Contains(err.Error(), "before the subcommand") || !strings.Contains(err.Error(), "-log-level") {
 		t.Fatalf("list -log-level=debug: got %v, want misplaced-global-flag error naming -log-level", err)
 	}
 	// Same when the flag parser itself rejects the token (flag position
 	// rather than trailing argument).
-	err = run("gc", append([]string{"-log-level", "debug"}, repoArgs(dir)...))
+	err = run(context.Background(), "gc", append([]string{"-log-level", "debug"}, repoArgs(dir)...))
 	if err == nil || !strings.Contains(err.Error(), "before the subcommand") {
 		t.Fatalf("gc -log-level: got %v, want misplaced-global-flag error", err)
 	}
 	// eval defines its own -v (version id); it must keep working.
-	if err := run("train", repoArgs(dir, "-name", "m", "-epochs", "1", "-seed", "22")); err != nil {
+	if err := run(context.Background(), "train", repoArgs(dir, "-name", "m", "-epochs", "1", "-seed", "22")); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("eval", repoArgs(dir, "-v", "1", "-n", "10")); err != nil {
+	if err := run(context.Background(), "eval", repoArgs(dir, "-v", "1", "-n", "10")); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -6,6 +6,19 @@
 //
 //	modelhub-server [-addr :8080] [-data DIR] [-metrics] [-trace-buffer N]
 //	                [-v] [-log-level LEVEL] [-drain-timeout D] [-flaky-pull-cut N]
+//	                [-peers URL,URL,...] [-self URL] [-replicas N]
+//	                [-repair-interval D] [-gateway]
+//
+// Cluster mode: with -peers (and -self naming this node's own URL in that
+// list), the node joins a consistent-hash cluster — publishes route to each
+// name's N owners (-replicas, default 3), owners replicate to each other,
+// and a background anti-entropy loop (-repair-interval, default 30s,
+// negative disables) re-pulls missing, stale, or corrupt replicas.
+//
+// With -gateway, the process is a stateless routing tier instead of a
+// storage node: it serves the same client API, routing publishes and pulls
+// by ring position with failover and fanning searches out to all peers.
+// Gateways take -peers but no -data or -self.
 //
 // With -metrics, the live metrics registry is enabled and served as JSON at
 // /metrics (expvar-style flat keys), the net/http/pprof profiling handlers
@@ -36,6 +49,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -53,16 +67,51 @@ func main() {
 	logLevel := flag.String("log-level", "", "log to stderr at this level (debug, info, warn, error)")
 	drain := flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
 	flakyCut := flag.Int64("flaky-pull-cut", 0, "fault injection: sever full-archive pull responses after N bytes (testing only)")
+	peersFlag := flag.String("peers", "", "comma-separated base URLs of the cluster's storage nodes")
+	selfURL := flag.String("self", "", "this node's own base URL as it appears to peers (required with -peers, ignored with -gateway)")
+	replicas := flag.Int("replicas", 0, "N-way replication factor (0 = default 3, clamped to the peer count)")
+	repairInterval := flag.Duration("repair-interval", 0, "anti-entropy sweep period (0 = default 30s, negative disables)")
+	gateway := flag.Bool("gateway", false, "run as a stateless routing gateway over -peers instead of a storage node")
 	flag.Parse()
 
 	if err := configureLogging(*verbose, *logLevel); err != nil {
 		log.Fatalf("modelhub-server: %v", err)
 	}
-	srv, err := hub.NewServer(*dataDir)
-	if err != nil {
-		log.Fatalf("modelhub-server: %v", err)
+	clusterCfg := hub.ClusterConfig{
+		Self:           *selfURL,
+		Peers:          splitPeers(*peersFlag),
+		Replicas:       *replicas,
+		VNodes:         0,
+		RepairInterval: *repairInterval,
 	}
-	handler := newMux(srv, *metrics, *traceBuffer)
+	var handler http.Handler
+	stopRepair := func() {}
+	switch {
+	case *gateway:
+		if *peersFlag == "" {
+			log.Fatalf("modelhub-server: -gateway requires -peers")
+		}
+		gw, err := hub.NewGateway(clusterCfg)
+		if err != nil {
+			log.Fatalf("modelhub-server: %v", err)
+		}
+		handler = newMux(gw.Handler(), *metrics, *traceBuffer)
+		log.Printf("modelhub-server: gateway over %d peer(s), %d-way replication", len(clusterCfg.Peers), *replicas)
+	default:
+		srv, err := hub.NewServer(*dataDir)
+		if err != nil {
+			log.Fatalf("modelhub-server: %v", err)
+		}
+		if *peersFlag != "" {
+			if err := srv.EnableCluster(clusterCfg); err != nil {
+				log.Fatalf("modelhub-server: %v", err)
+			}
+			stopRepair = srv.StartAntiEntropy()
+			log.Printf("modelhub-server: cluster node %s, %d peer(s)", *selfURL, len(clusterCfg.Peers))
+		}
+		handler = newMux(srv.Handler(), *metrics, *traceBuffer)
+	}
+	defer stopRepair()
 	if *flakyCut > 0 {
 		log.Printf("modelhub-server: FAULT INJECTION: cutting full pull responses after %d bytes", *flakyCut)
 		handler = flakyPullCut(handler, *flakyCut)
@@ -112,12 +161,25 @@ func configureLogging(verbose bool, level string) error {
 	return nil
 }
 
-// newMux mounts the hub API and, when metrics is set, enables the obs
-// registry plus tracing and adds the /metrics and /debug/pprof/ endpoints
-// (/debug/traces is mounted by the hub handler itself).
-func newMux(srv *hub.Server, metrics bool, traceBuffer int) http.Handler {
+// splitPeers parses the -peers flag into a list of base URLs, dropping
+// empty entries and surrounding whitespace.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// newMux mounts the hub API (storage node or gateway) and, when metrics is
+// set, enables the obs registry plus tracing and adds the /metrics and
+// /debug/pprof/ endpoints (/debug/traces is mounted by the hub handler
+// itself).
+func newMux(api http.Handler, metrics bool, traceBuffer int) http.Handler {
 	mux := http.NewServeMux()
-	mux.Handle("/", srv.Handler())
+	mux.Handle("/", api)
 	if metrics {
 		obs.Enable()
 		obs.SetService("modelhub-server")

@@ -35,7 +35,7 @@ func TestServerMuxWithMetrics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newMux(srv, true, obs.DefaultTraceBufferSize))
+	ts := httptest.NewServer(newMux(srv.Handler(), true, obs.DefaultTraceBufferSize))
 	defer ts.Close()
 
 	// The hub API answers through the mux.
@@ -65,7 +65,7 @@ func TestServerMuxWithoutMetrics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newMux(srv, false, 0))
+	ts := httptest.NewServer(newMux(srv.Handler(), false, 0))
 	defer ts.Close()
 	if code, _ := get(t, ts.URL+"/metrics"); code != http.StatusNotFound {
 		t.Fatalf("/metrics without -metrics: status = %d, want 404", code)

@@ -194,33 +194,35 @@ func (m *ModelHub) Repack() (pas.GCStats, error) {
 
 // Publish uploads the repository to a hub server (dlv publish).
 func (m *ModelHub) Publish(remote, name string) error {
-	return m.PublishWith(remote, name, hub.Options{})
+	return m.PublishWith(context.Background(), remote, name, hub.Options{})
 }
 
 // PublishWith is Publish with explicit transfer options (timeouts, stall
-// watchdog, retry policy).
-func (m *ModelHub) PublishWith(remote, name string, o hub.Options) error {
-	return hub.NewClientWith(remote, o).Publish(m.Repo.Root(), name)
+// watchdog, retry policy) and a caller context: cancelling ctx aborts the
+// in-flight upload, including its retry backoffs.
+func (m *ModelHub) PublishWith(ctx context.Context, remote, name string, o hub.Options) error {
+	return hub.NewClientWith(remote, o).PublishCtx(ctx, m.Repo.Root(), name)
 }
 
 // Search queries a hub server (dlv search).
 func Search(remote, q string) ([]hub.RepoInfo, error) {
-	return SearchWith(remote, q, hub.Options{})
+	return SearchWith(context.Background(), remote, q, hub.Options{})
 }
 
-// SearchWith is Search with explicit transfer options.
-func SearchWith(remote, q string, o hub.Options) ([]hub.RepoInfo, error) {
-	return hub.NewClientWith(remote, o).Search(q)
+// SearchWith is Search with explicit transfer options and a caller context.
+func SearchWith(ctx context.Context, remote, q string, o hub.Options) ([]hub.RepoInfo, error) {
+	return hub.NewClientWith(remote, o).SearchCtx(ctx, q)
 }
 
 // Pull downloads a published repository into dir and opens it (dlv pull).
 func Pull(remote, name, dir string) (*ModelHub, error) {
-	return PullWith(remote, name, dir, hub.Options{})
+	return PullWith(context.Background(), remote, name, dir, hub.Options{})
 }
 
-// PullWith is Pull with explicit transfer options.
-func PullWith(remote, name, dir string, o hub.Options) (*ModelHub, error) {
-	if err := hub.NewClientWith(remote, o).Pull(name, dir); err != nil {
+// PullWith is Pull with explicit transfer options and a caller context:
+// cancelling ctx aborts the download mid-stream or mid-backoff.
+func PullWith(ctx context.Context, remote, name, dir string, o hub.Options) (*ModelHub, error) {
+	if err := hub.NewClientWith(remote, o).PullCtx(ctx, name, dir); err != nil {
 		return nil, err
 	}
 	return Open(dir)

@@ -54,8 +54,15 @@ func (c *Client) httpClient() *http.Client {
 // (dlv publish). The archive is packed to a temp file and hashed, the hash
 // travels in DigestHeader, and the server rejects any upload whose streamed
 // bytes do not match — a cut upload can never become visible server state.
-func (c *Client) Publish(root, name string) (err error) {
-	rctx, span := obs.Start(context.Background(), "hub.client.publish")
+func (c *Client) Publish(root, name string) error {
+	return c.PublishCtx(context.Background(), root, name)
+}
+
+// PublishCtx is Publish under a caller-supplied context: cancelling ctx
+// aborts the in-flight upload immediately instead of leaving it to stream
+// until the stall watchdog notices.
+func (c *Client) PublishCtx(ctx context.Context, root, name string) (err error) {
+	rctx, span := obs.Start(ctx, "hub.client.publish")
 	span.SetAttr("hub.name", name)
 	defer func() { c.endAndExport(span, err) }()
 	opts := c.Opts.withDefaults()
@@ -98,7 +105,9 @@ func (c *Client) Publish(root, name string) (err error) {
 	span.Inject(req.Header)
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
-		return fmt.Errorf("%w: publish: %v", ErrHub, err)
+		// rctx, not the derived ctx: the stall watchdog cancels the child
+		// and must keep reporting as a stall, not a caller abort.
+		return ctxAbort(rctx, fmt.Errorf("%w: publish: %v", ErrHub, err))
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
@@ -113,8 +122,14 @@ func (c *Client) Publish(root, name string) (err error) {
 // Transient failures (connection errors, cut responses, 5xx) are retried
 // with backoff under a per-attempt timeout; each attempt is a child span of
 // one search trace.
-func (c *Client) Search(q string) (out []RepoInfo, err error) {
-	rctx, span := obs.Start(context.Background(), "hub.client.search")
+func (c *Client) Search(q string) ([]RepoInfo, error) {
+	return c.SearchCtx(context.Background(), q)
+}
+
+// SearchCtx is Search under a caller-supplied context: cancellation aborts
+// the in-flight attempt and any backoff wait between retries.
+func (c *Client) SearchCtx(ctx context.Context, q string) (out []RepoInfo, err error) {
+	rctx, span := obs.Start(ctx, "hub.client.search")
 	span.SetAttr("hub.query", q)
 	defer func() { c.endAndExport(span, err) }()
 	opts := c.Opts.withDefaults()
@@ -169,8 +184,15 @@ func (c *Client) searchAttempt(ctx context.Context, u string, out *[]RepoInfo) e
 // staging directory, and promoted into destRoot with one atomic rename —
 // a failed or interrupted pull leaves destRoot untouched, so a retry
 // always starts clean.
-func (c *Client) Pull(name, destRoot string) (err error) {
-	rctx, span := obs.Start(context.Background(), "hub.client.pull")
+func (c *Client) Pull(name, destRoot string) error {
+	return c.PullCtx(context.Background(), name, destRoot)
+}
+
+// PullCtx is Pull under a caller-supplied context: a cancelled ctx aborts
+// the in-flight download (and any retry backoff) within one backoff
+// interval instead of streaming on until the stall watchdog fires.
+func (c *Client) PullCtx(ctx context.Context, name, destRoot string) (err error) {
+	rctx, span := obs.Start(ctx, "hub.client.pull")
 	span.SetAttr("hub.name", name)
 	defer func() { c.endAndExport(span, err) }()
 	dest := filepath.Join(destRoot, ".dlv")
@@ -256,12 +278,12 @@ func (c *Client) download(ctx context.Context, name string, f *os.File) error {
 			}
 		}
 		if !isTransient(err) || attempt >= opts.Retries {
-			return err
+			return ctxAbort(ctx, err)
 		}
 		attempt++
 		mRetries.Inc()
 		if serr := sleepCtx(ctx, backoffDelay(attempt, opts)); serr != nil {
-			return err
+			return ctxAbort(ctx, err)
 		}
 	}
 }

@@ -1,0 +1,482 @@
+package hub
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"modelhub/internal/obs"
+)
+
+// Cluster request headers. Replication and forwarding both ride the
+// existing streamed-publish path (temp file + SHA-256 while streaming,
+// DigestHeader verify), so these headers only carry routing intent and
+// metadata — integrity is always the digest.
+const (
+	// ReplicaHeader marks a replication push from an owner peer; its value
+	// is the sender's advertised base URL. A node receiving one stores the
+	// blob locally and does not replicate further (the pushing owner is
+	// already fanning out), which breaks replication loops.
+	ReplicaHeader = "X-Hub-Replica-From"
+	// ForwardedHeader marks a publish forwarded by a non-owner node or the
+	// gateway. The receiving node stores it even if its own ring view says
+	// it is not an owner, so disagreeing ring configurations degrade into
+	// an extra replica instead of a forwarding loop.
+	ForwardedHeader = "X-Hub-Forwarded"
+	// RepoInfoHeader carries the JSON RepoInfo record of a replicated
+	// blob: the receiving peer keeps the origin's publication timestamp
+	// and model list instead of re-inspecting the archive.
+	RepoInfoHeader = "X-Hub-Repo-Info"
+)
+
+// Cluster metrics (DESIGN.md §8): all no-ops until obs.Enable.
+var (
+	mForwarded     = obs.GetCounter("hub.cluster.publish.forwarded")
+	mForwardFailed = obs.GetCounter("hub.cluster.publish.forward_failed")
+	mReplicateOK   = obs.GetCounter("hub.cluster.replicate.success")
+	mReplicateFail = obs.GetCounter("hub.cluster.replicate.failure")
+	mReplicaRecv   = obs.GetCounter("hub.cluster.replicate.received")
+	mReplicaSkip   = obs.GetCounter("hub.cluster.replicate.skipped_stale")
+)
+
+// ClusterConfig describes one node's view of a multi-node hub. The same
+// Peers list (order-insensitive) and Replicas value must be handed to every
+// node and to the gateway: placement is pure consistent hashing, so agreeing
+// on the inputs is all the coordination the cluster needs.
+type ClusterConfig struct {
+	// Self is this node's advertised base URL, e.g. "http://10.0.0.1:8080".
+	// It must appear in Peers (it is added if missing). Gateways leave it
+	// empty — they route, they do not own.
+	Self string
+	// Peers are the base URLs of every storage node in the cluster.
+	Peers []string
+	// Replicas is the N-way replication factor. 0 selects 3; values above
+	// the peer count are clamped to it.
+	Replicas int
+	// VNodes is the virtual-node count per peer on the ring (0 selects 64).
+	VNodes int
+	// RepairInterval is the anti-entropy sweep period for
+	// StartAntiEntropy. 0 selects 30s; negative disables the loop.
+	RepairInterval time.Duration
+	// PeerTimeout bounds one control request to a peer (inventory fetch,
+	// replicate/forward/repair transfers get 10x this for streaming).
+	// 0 selects 10s.
+	PeerTimeout time.Duration
+	// Client is the HTTP client used for peer traffic; nil selects
+	// DefaultHTTPClient.
+	Client *http.Client
+}
+
+// withDefaults normalizes the config: peers deduped via the ring, Self
+// appended to Peers when missing, zero fields resolved.
+func (c ClusterConfig) withDefaults() ClusterConfig {
+	c.Self = strings.TrimRight(strings.TrimSpace(c.Self), "/")
+	if c.Replicas <= 0 {
+		c.Replicas = 3
+	}
+	if c.RepairInterval == 0 {
+		c.RepairInterval = 30 * time.Second
+	}
+	if c.PeerTimeout <= 0 {
+		c.PeerTimeout = 10 * time.Second
+	}
+	if c.Client == nil {
+		c.Client = DefaultHTTPClient()
+	}
+	return c
+}
+
+// cluster is the resolved cluster state hanging off a Server (and, without
+// a self identity, off a Gateway).
+type cluster struct {
+	self           string
+	ring           *Ring
+	peers          []string
+	replicas       int
+	repairInterval time.Duration
+	peerTimeout    time.Duration
+	hc             *http.Client
+}
+
+func newCluster(cfg ClusterConfig, needSelf bool) (*cluster, error) {
+	cfg = cfg.withDefaults()
+	peers := cfg.Peers
+	if needSelf {
+		if cfg.Self == "" {
+			return nil, fmt.Errorf("%w: cluster config needs a Self URL", ErrHub)
+		}
+		peers = append(append([]string{}, peers...), cfg.Self)
+	}
+	ring, err := NewRing(peers, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	replicas := cfg.Replicas
+	if n := len(ring.Peers()); replicas > n {
+		replicas = n
+	}
+	return &cluster{
+		self:           cfg.Self,
+		ring:           ring,
+		peers:          ring.Peers(),
+		replicas:       replicas,
+		repairInterval: cfg.RepairInterval,
+		peerTimeout:    cfg.PeerTimeout,
+		hc:             cfg.Client,
+	}, nil
+}
+
+// EnableCluster makes this server a member of a multi-node hub: publishes
+// of names it does not own are forwarded to the owners, owned publishes are
+// replicated to the other N-1 owners, and the replicate/repair endpoints
+// come alive. Call it after NewServer and before serving requests; the
+// anti-entropy loop is started separately with StartAntiEntropy.
+func (s *Server) EnableCluster(cfg ClusterConfig) error {
+	cl, err := newCluster(cfg, true)
+	if err != nil {
+		return err
+	}
+	s.cluster = cl
+	return nil
+}
+
+// newerThan reports whether a supersedes b under last-writer-wins:
+// publication time first (RFC3339 strings compare chronologically), digest
+// as the deterministic tie-break so all replicas converge on one record
+// even when two publishes carry the same timestamp.
+func newerThan(a, b RepoInfo) bool {
+	if a.PublishedAt != b.PublishedAt {
+		return a.PublishedAt > b.PublishedAt
+	}
+	return a.SHA256 > b.SHA256
+}
+
+// acceptReplica is the storeBlob policy for replica receives and repair:
+// take the record unless the local one is strictly newer. Equal records are
+// re-accepted on purpose — that is how repair overwrites a corrupt blob
+// whose index entry still looks right.
+func acceptReplica(info RepoInfo) func(prev RepoInfo, exists bool) bool {
+	return func(prev RepoInfo, exists bool) bool {
+		return !exists || !newerThan(prev, info)
+	}
+}
+
+// replicateOut pushes a freshly stored record to the other owners of its
+// name, sequentially, each push a child span of the publish request trace.
+// Failures are counted and logged, never fatal: the publish already
+// committed locally, and anti-entropy re-converges the missing replicas.
+func (cl *cluster) replicateOut(ctx context.Context, s *Server, info RepoInfo) {
+	for _, peer := range cl.ring.Owners(info.Name, cl.replicas) {
+		if peer == cl.self {
+			continue
+		}
+		rctx, span := obs.Start(ctx, "hub.cluster.replicate")
+		span.SetAttr("hub.peer", peer)
+		span.SetAttr("hub.name", info.Name)
+		err := cl.pushReplica(rctx, s.blobPath(info.Name, info.SHA256), info, peer)
+		if err != nil {
+			span.SetError()
+			mReplicateFail.Inc()
+			obs.Logger().Warn("replica push failed", "name", info.Name, "peer", peer, "err", err)
+		} else {
+			mReplicateOK.Inc()
+		}
+		span.End()
+	}
+}
+
+// pushReplica streams one blob to peer's /api/replicate, digest in
+// DigestHeader and the metadata record in RepoInfoHeader.
+func (cl *cluster) pushReplica(ctx context.Context, blobPath string, info RepoInfo, peer string) error {
+	f, err := os.Open(blobPath)
+	if err != nil {
+		return fmt.Errorf("%w: replicate: %v", ErrHub, err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("%w: replicate: %v", ErrHub, err)
+	}
+	meta, err := json.Marshal(info)
+	if err != nil {
+		return fmt.Errorf("%w: replicate: %v", ErrHub, err)
+	}
+	rctx, cancel := context.WithTimeout(ctx, 10*cl.peerTimeout)
+	defer cancel()
+	u := fmt.Sprintf("%s/api/replicate?name=%s", peer, url.QueryEscape(info.Name))
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, u, f)
+	if err != nil {
+		return fmt.Errorf("%w: replicate: %v", ErrHub, err)
+	}
+	req.ContentLength = st.Size()
+	req.Header.Set("Content-Type", "application/gzip")
+	req.Header.Set(DigestHeader, info.SHA256)
+	req.Header.Set(RepoInfoHeader, string(meta))
+	req.Header.Set(ReplicaHeader, cl.self)
+	obs.FromContext(rctx).Inject(req.Header)
+	resp, err := cl.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("%w: replicate to %s: %v", ErrHub, peer, err)
+	}
+	defer resp.Body.Close()
+	//mhlint:ignore errcheck best-effort drain so the connection can be reused
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%w: replicate to %s failed (%d)", ErrHub, peer, resp.StatusCode)
+	}
+	return nil
+}
+
+// handleReplicate receives a blob pushed by an owner peer (or repair):
+// stream to temp hashing, verify against the advertised digest, then commit
+// through the shared storeBlob path under last-writer-wins.
+func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.cluster == nil {
+		http.Error(w, ErrHub.Error()+": not a cluster node", http.StatusPreconditionFailed)
+		return
+	}
+	name := r.URL.Query().Get("name")
+	if err := validateName(name); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var info RepoInfo
+	if err := json.Unmarshal([]byte(r.Header.Get(RepoInfoHeader)), &info); err != nil {
+		http.Error(w, ErrHub.Error()+": bad "+RepoInfoHeader+": "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if info.Name != name || info.SHA256 == "" {
+		http.Error(w, ErrHub.Error()+": metadata does not match the request", http.StatusBadRequest)
+		return
+	}
+	tmpName, digest, _, err := s.spoolBody(r.Body)
+	if err != nil {
+		http.Error(w, "replica upload aborted or unreadable: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	stored := false
+	defer func() {
+		if !stored {
+			//mhlint:ignore errcheck best-effort cleanup of an unpromoted replica upload
+			_ = os.Remove(tmpName)
+		}
+	}()
+	if !strings.EqualFold(digest, info.SHA256) {
+		mDigestMismatch.Inc()
+		http.Error(w, fmt.Sprintf("digest mismatch: body is %s, record says %s", digest, info.SHA256),
+			http.StatusBadRequest)
+		return
+	}
+	stored, err = s.storeBlob(tmpName, info, acceptReplica(info))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if stored {
+		mReplicaRecv.Inc()
+	} else {
+		mReplicaSkip.Inc()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	//mhlint:ignore errcheck a response-write failure means the peer went away; nothing to do
+	_ = json.NewEncoder(w).Encode(map[string]bool{"stored": stored})
+}
+
+// spoolBody streams an upload body into a temp file in the data directory,
+// hashing while it lands, and returns the temp path, hex digest, and size.
+// Bodies beyond maxPublishBytes are rejected. The caller owns the temp file
+// on success.
+func (s *Server) spoolBody(body io.Reader) (tmpName, digest string, size int64, err error) {
+	tmp, err := os.CreateTemp(s.dir, tmpPrefix+"replica-*")
+	if err != nil {
+		return "", "", 0, err
+	}
+	return spoolTo(tmp, body)
+}
+
+// spoolTo is the shared spool core: stream body into the open temp file,
+// hashing while it lands. On error the temp file is removed. Used by both
+// storage nodes (spoolBody) and the gateway, which has no data directory.
+func spoolTo(tmp *os.File, body io.Reader) (tmpName, digest string, size int64, err error) {
+	tmpName = tmp.Name()
+	h := sha256.New()
+	size, err = io.Copy(io.MultiWriter(tmp, h), io.LimitReader(body, maxPublishBytes+1))
+	if err == nil && size > maxPublishBytes {
+		err = fmt.Errorf("archive exceeds the %d-byte publish limit", maxPublishBytes)
+	}
+	if err != nil {
+		//mhlint:ignore errcheck the copy error takes precedence over cleanup
+		_ = tmp.Close()
+		//mhlint:ignore errcheck the copy error takes precedence over cleanup
+		_ = os.Remove(tmpName)
+		return "", "", 0, err
+	}
+	if err := syncClose(tmp); err != nil {
+		//mhlint:ignore errcheck the sync error takes precedence over cleanup
+		_ = os.Remove(tmpName)
+		return "", "", 0, err
+	}
+	return tmpName, digestString(h.Sum(nil)), size, nil
+}
+
+// forwardPublish relays a publish this node does not own to the name's
+// replica set: spool + hash first (so the upload is verified once and can
+// be retried against each owner), then POST the spooled archive to owners
+// in ring order until one accepts.
+func (s *Server) forwardPublish(w http.ResponseWriter, r *http.Request, name string) {
+	cl := s.cluster
+	ctx, span := obs.Start(r.Context(), "hub.cluster.forward")
+	span.SetAttr("hub.name", name)
+	ok := false
+	defer func() {
+		if !ok {
+			span.SetError()
+		}
+		span.End()
+	}()
+	tmpName, digest, _, err := s.spoolBody(r.Body)
+	if err != nil {
+		http.Error(w, "upload aborted or unreadable: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	defer func() {
+		//mhlint:ignore errcheck best-effort cleanup after the forward outcome is decided
+		_ = os.Remove(tmpName)
+	}()
+	if want := r.Header.Get(DigestHeader); want != "" && !strings.EqualFold(want, digest) {
+		mDigestMismatch.Inc()
+		http.Error(w, fmt.Sprintf("digest mismatch: body is %s, %s says %s", digest, DigestHeader, want),
+			http.StatusBadRequest)
+		return
+	}
+	owners := cl.ring.Owners(name, cl.replicas)
+	status, body, derr := forwardSpooled(ctx, cl.hc, cl.self, owners, name, tmpName, digest, cl.peerTimeout)
+	if derr != nil {
+		mForwardFailed.Inc()
+		http.Error(w, derr.Error(), http.StatusBadGateway)
+		return
+	}
+	ok = status == http.StatusOK
+	if ok {
+		mForwarded.Inc()
+		w.Header().Set(DigestHeader, digest)
+	}
+	w.WriteHeader(status)
+	//mhlint:ignore errcheck a response-write failure means the client went away; nothing to do
+	_, _ = w.Write(body)
+}
+
+// forwardSpooled POSTs a spooled archive to each owner in order until one
+// answers. Connection failures and 5xx move on to the next owner; any
+// definitive answer (2xx/4xx) is relayed as-is. from is stamped into
+// ForwardedHeader ("gateway" when relayed by the stateless tier).
+func forwardSpooled(ctx context.Context, hc *http.Client, from string, owners []string,
+	name, tmpName, digest string, peerTimeout time.Duration) (status int, body []byte, err error) {
+	if from == "" {
+		from = "gateway"
+	}
+	var lastErr error
+	for _, peer := range owners {
+		f, err := os.Open(tmpName)
+		if err != nil {
+			return 0, nil, fmt.Errorf("%w: forward: %v", ErrHub, err)
+		}
+		st, err := f.Stat()
+		if err != nil {
+			//mhlint:ignore errcheck the stat error takes precedence over cleanup
+			_ = f.Close()
+			return 0, nil, fmt.Errorf("%w: forward: %v", ErrHub, err)
+		}
+		actx, cancel := context.WithTimeout(ctx, 10*peerTimeout)
+		u := fmt.Sprintf("%s/api/publish?name=%s", peer, url.QueryEscape(name))
+		req, err := http.NewRequestWithContext(actx, http.MethodPost, u, f)
+		if err != nil {
+			cancel()
+			//mhlint:ignore errcheck the request error takes precedence over cleanup
+			_ = f.Close()
+			return 0, nil, fmt.Errorf("%w: forward: %v", ErrHub, err)
+		}
+		req.ContentLength = st.Size()
+		req.Header.Set("Content-Type", "application/gzip")
+		req.Header.Set(DigestHeader, digest)
+		req.Header.Set(ForwardedHeader, from)
+		obs.FromContext(ctx).Inject(req.Header)
+		resp, err := hc.Do(req)
+		//mhlint:ignore errcheck the response outcome takes precedence over closing the spool handle
+		_ = f.Close()
+		if err != nil {
+			cancel()
+			lastErr = err
+			continue
+		}
+		msg, rerr := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		//mhlint:ignore errcheck best-effort close; the body was already read
+		_ = resp.Body.Close()
+		cancel()
+		if rerr != nil {
+			lastErr = rerr
+			continue
+		}
+		if resp.StatusCode >= 500 {
+			lastErr = fmt.Errorf("owner %s answered %d", peer, resp.StatusCode)
+			continue
+		}
+		return resp.StatusCode, msg, nil
+	}
+	return 0, nil, fmt.Errorf("%w: no owner of %q reachable: %v", ErrHub, name, lastErr)
+}
+
+// handleInventory lists the local index as sorted JSON — the per-peer
+// digest inventory that anti-entropy sweeps diff against each other.
+func (s *Server) handleInventory(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.RLock()
+	out := make([]RepoInfo, 0, len(s.index))
+	for _, info := range s.index {
+		out = append(out, info)
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(a, b int) bool { return out[a].Name < out[b].Name })
+	w.Header().Set("Content-Type", "application/json")
+	//mhlint:ignore errcheck a response-write failure means the client went away; nothing to do
+	_ = json.NewEncoder(w).Encode(out)
+}
+
+// fetchInventory retrieves one peer's /api/inventory.
+func (cl *cluster) fetchInventory(ctx context.Context, peer string) ([]RepoInfo, error) {
+	actx, cancel := context.WithTimeout(ctx, cl.peerTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodGet, peer+"/api/inventory", nil)
+	if err != nil {
+		return nil, fmt.Errorf("%w: inventory: %v", ErrHub, err)
+	}
+	obs.FromContext(ctx).Inject(req.Header)
+	resp, err := cl.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("%w: inventory from %s: %v", ErrHub, peer, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%w: inventory from %s failed (%d)", ErrHub, peer, resp.StatusCode)
+	}
+	var out []RepoInfo
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("%w: inventory from %s: %v", ErrHub, peer, err)
+	}
+	return out, nil
+}

@@ -58,8 +58,23 @@ type Server struct {
 
 	// lockMu guards nameLocks; each per-name mutex serializes the
 	// promote + index-update critical section of concurrent publishes.
+	// Entries are refcounted and removed once uncontended, so the map
+	// stays bounded by the number of in-flight publishes, not the number
+	// of names ever published.
 	lockMu    sync.Mutex
-	nameLocks map[string]*sync.Mutex
+	nameLocks map[string]*nameLock
+
+	// cluster is non-nil once EnableCluster made this node part of a
+	// multi-node hub: it holds the ring, the replication factor, and the
+	// peer HTTP client used for replicate pushes and anti-entropy repair.
+	cluster *cluster
+}
+
+// nameLock is one entry of Server.nameLocks: the per-name mutex plus the
+// number of holders/waiters keeping the entry alive.
+type nameLock struct {
+	mu   sync.Mutex
+	refs int
 }
 
 // NewServer stores published repositories under dir. Leftover state from a
@@ -70,7 +85,7 @@ func NewServer(dir string) (*Server, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrHub, err)
 	}
-	s := &Server{dir: dir, index: map[string]RepoInfo{}, now: time.Now, nameLocks: map[string]*sync.Mutex{}}
+	s := &Server{dir: dir, index: map[string]RepoInfo{}, now: time.Now, nameLocks: map[string]*nameLock{}}
 	if err := s.loadIndex(); err != nil {
 		return nil, err
 	}
@@ -213,17 +228,35 @@ func (s *Server) blobPath(name, digest string) string {
 }
 
 // lockName serializes publishes of one name; the returned func releases.
+// The entry is refcounted: the last releaser deletes it, so names that are
+// not being published right now cost no memory — the map is bounded by
+// concurrent publishes, not by every name the server ever stored.
 func (s *Server) lockName(name string) func() {
 	s.lockMu.Lock()
 	l := s.nameLocks[name]
 	if l == nil {
-		l = &sync.Mutex{}
+		l = &nameLock{}
 		s.nameLocks[name] = l
 	}
+	l.refs++
 	s.lockMu.Unlock()
-	//mhlint:ignore locksafe the unlock is the returned closure; callers defer it
-	l.Lock()
-	return l.Unlock
+	l.mu.Lock()
+	return func() {
+		l.mu.Unlock()
+		s.lockMu.Lock()
+		l.refs--
+		if l.refs == 0 {
+			delete(s.nameLocks, name)
+		}
+		s.lockMu.Unlock()
+	}
+}
+
+// nameLockCount reports the live nameLocks entries (tests assert bounds).
+func (s *Server) nameLockCount() int {
+	s.lockMu.Lock()
+	defer s.lockMu.Unlock()
+	return len(s.nameLocks)
 }
 
 func validateName(name string) error {
@@ -261,6 +294,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/api/publish", s.handlePublish)
 	mux.HandleFunc("/api/search", s.handleSearch)
 	mux.HandleFunc("/api/pull", s.handlePull)
+	// Cluster surface: replicate receives blobs pushed by owner peers and
+	// repair triggers one anti-entropy sweep on demand (both answer 412
+	// until EnableCluster is called); inventory lists the local index and
+	// is always served — it is what peers diff against during repair.
+	mux.HandleFunc("/api/replicate", s.handleReplicate)
+	mux.HandleFunc("/api/inventory", s.handleInventory)
+	mux.HandleFunc("/api/repair", s.handleRepair)
 	// The flight recorder rides the API mux so every deployment (and every
 	// httptest server in the suite) serves GET /debug/traces and accepts
 	// client-side trace exports on POST. WrapHandler excludes /debug/ paths
@@ -280,6 +320,14 @@ func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
 	name := r.URL.Query().Get("name")
 	if err := validateName(name); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	cl := s.cluster
+	if cl != nil && r.Header.Get(ForwardedHeader) == "" && !cl.ring.Owns(name, cl.self, cl.replicas) {
+		// Not an owner of this name: spool and hand the publish to the
+		// replica set, exactly as the gateway would. ForwardedHeader breaks
+		// forward loops when peers disagree about ring membership.
+		s.forwardPublish(w, r, name)
 		return
 	}
 
@@ -333,48 +381,77 @@ func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Promote: blob rename first, index save second, old blob unlink last —
-	// all under the per-name lock so concurrent publishes of one name
-	// serialize and their blob/index states never interleave.
-	unlock := s.lockName(name)
-	defer unlock()
-	if err := os.Rename(tmpName, s.blobPath(name, digest)); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	promoted = true
-	s.mu.Lock()
-	prev, replaced := s.index[name]
-	s.index[name] = RepoInfo{
+	info := RepoInfo{
 		Name:        name,
 		SizeBytes:   size,
 		PublishedAt: s.now().UTC().Format(time.RFC3339),
 		Models:      models,
 		SHA256:      digest,
 	}
-	err = s.saveIndexLocked()
-	if err != nil {
-		// Roll the in-memory index back to match the persisted one.
-		if replaced {
-			s.index[name] = prev
-		} else {
-			delete(s.index, name)
-		}
-	}
-	s.mu.Unlock()
-	if err != nil {
+	// Promote: blob rename first, index save second, old blob unlink last —
+	// all under the per-name lock so concurrent publishes of one name
+	// serialize and their blob/index states never interleave. A client
+	// publish always replaces the current record.
+	if _, err := s.storeBlob(tmpName, info, func(RepoInfo, bool) bool { return true }); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	if replaced && prev.SHA256 != "" && prev.SHA256 != digest {
-		// Unlink the superseded blob. In-flight pulls keep their open file
-		// handle; new pulls already resolve the new digest.
-		//mhlint:ignore errcheck best-effort removal; reconcile sweeps strays at next startup
-		_ = os.Remove(s.blobPath(name, prev.SHA256))
+	promoted = true
+	if cl != nil && r.Header.Get(ReplicaHeader) == "" {
+		// Push the fresh record to the other owners while the publisher
+		// waits: a 200 means every reachable replica holds the blob.
+		// Unreachable peers are converged by the anti-entropy loop.
+		cl.replicateOut(r.Context(), s, info)
 	}
 	mPublishBytes.Observe(float64(size))
 	w.Header().Set(DigestHeader, digest)
 	w.WriteHeader(http.StatusOK)
+}
+
+// storeBlob promotes a digest-verified temp file and its metadata record
+// into the store under the per-name lock: blob rename first, index save
+// second, superseded-blob unlink last — the same commit order as a direct
+// publish, shared by replica receives and anti-entropy repair. accept
+// decides, given the current entry, whether the incoming record replaces
+// it (publishes always win; replicas only accept records at least as new
+// as what they hold). When accept declines, the temp file is removed and
+// stored is false.
+func (s *Server) storeBlob(tmpName string, info RepoInfo, accept func(prev RepoInfo, exists bool) bool) (stored bool, err error) {
+	unlock := s.lockName(info.Name)
+	defer unlock()
+	s.mu.RLock()
+	prev, exists := s.index[info.Name]
+	s.mu.RUnlock()
+	if !accept(prev, exists) {
+		//mhlint:ignore errcheck best-effort cleanup of a declined replica blob
+		_ = os.Remove(tmpName)
+		return false, nil
+	}
+	if err := os.Rename(tmpName, s.blobPath(info.Name, info.SHA256)); err != nil {
+		return false, err
+	}
+	s.mu.Lock()
+	s.index[info.Name] = info
+	err = s.saveIndexLocked()
+	if err != nil {
+		// Roll the in-memory index back to match the persisted one.
+		if exists {
+			s.index[info.Name] = prev
+		} else {
+			delete(s.index, info.Name)
+		}
+	}
+	s.mu.Unlock()
+	if err != nil {
+		return false, err
+	}
+	if exists && prev.SHA256 != "" && prev.SHA256 != info.SHA256 {
+		// Unlink the superseded blob. In-flight pulls keep their open file
+		// handle; new pulls already resolve the new digest.
+		//mhlint:ignore errcheck best-effort removal; reconcile sweeps strays at next startup
+		_ = os.Remove(s.blobPath(info.Name, prev.SHA256))
+	}
+	return true, nil
 }
 
 // inspectArchive unpacks a stored archive into a temp dir and lists its

@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"modelhub/internal/obs"
@@ -46,6 +47,15 @@ type Options struct {
 	// retries; each delay is jittered into [d/2, d]. Defaults 100ms / 5s.
 	BaseBackoff time.Duration
 	MaxBackoff  time.Duration
+	// JitterSeed seeds the backoff jitter source. Zero selects a
+	// process-unique seed; tests pin it to make delay sequences
+	// reproducible.
+	JitterSeed int64
+
+	// rng is the per-operation jitter source, attached by withDefaults.
+	// Each operation (one publish, one search, one pull) owns its source,
+	// so concurrent clients never serialize on the global math/rand lock.
+	rng *rand.Rand
 }
 
 // withDefaults resolves zero fields to defaults and negative fields to off.
@@ -69,8 +79,22 @@ func (o Options) withDefaults() Options {
 	case o.Retries == 0:
 		o.Retries = 2
 	}
+	seed := o.JitterSeed
+	if seed == 0 {
+		// Uncorrelated across concurrent operations: a fixed process base
+		// mixed with a monotonic counter, no clock reads per operation.
+		seed = jitterSeedBase ^ jitterSeedSeq.Add(1)
+	}
+	o.rng = rand.New(rand.NewSource(seed))
 	return o
 }
+
+// jitterSeedBase and jitterSeedSeq derive per-operation jitter seeds when
+// Options.JitterSeed is zero.
+var (
+	jitterSeedBase = time.Now().UnixNano()
+	jitterSeedSeq  atomic.Int64
+)
 
 // DefaultHTTPClient builds the client used when Client.HTTP is nil: dial and
 // response-header timeouts so a hung or unreachable server fails fast, but
@@ -120,14 +144,28 @@ func retry(ctx context.Context, o Options, op func(context.Context) error) error
 	for {
 		err := runAttempt(ctx, o.Timeout, op)
 		if err == nil || !isTransient(err) || attempt >= o.Retries {
-			return err
+			return ctxAbort(ctx, err)
 		}
 		attempt++
 		mRetries.Inc()
 		if serr := sleepCtx(ctx, backoffDelay(attempt, o)); serr != nil {
-			return err
+			return ctxAbort(ctx, err)
 		}
 	}
+}
+
+// ctxAbort surfaces caller cancellation: when the operation context ended,
+// the attempt's own error (usually a wrapped transport failure that lost
+// the cause) is replaced by one carrying ctx.Err(), so callers can
+// errors.Is(err, context.Canceled) on an aborted transfer.
+func ctxAbort(ctx context.Context, err error) error {
+	if err == nil {
+		return nil
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return fmt.Errorf("%w: aborted: %w", ErrHub, cerr)
+	}
+	return err
 }
 
 // runAttempt executes one attempt under an optional per-attempt deadline.
@@ -142,6 +180,8 @@ func runAttempt(ctx context.Context, timeout time.Duration, op func(context.Cont
 
 // backoffDelay is the jittered exponential delay before retry `attempt`
 // (1-based): base·2^(attempt-1) capped at max, then jittered into [d/2, d].
+// Jitter draws from the operation's own seeded source (withDefaults), never
+// the globally locked math/rand state.
 func backoffDelay(attempt int, o Options) time.Duration {
 	d := o.BaseBackoff
 	for i := 1; i < attempt && d < o.MaxBackoff; i++ {
@@ -153,7 +193,12 @@ func backoffDelay(attempt int, o Options) time.Duration {
 	if d <= 0 {
 		return 0
 	}
-	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	rng := o.rng
+	if rng == nil {
+		// Options that skipped withDefaults (hand-built in tests).
+		rng = rand.New(rand.NewSource(jitterSeedBase ^ jitterSeedSeq.Add(1)))
+	}
+	return d/2 + time.Duration(rng.Int63n(int64(d/2)+1))
 }
 
 // sleepCtx waits for d or until ctx is done, whichever comes first. It is
